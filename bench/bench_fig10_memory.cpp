@@ -1,0 +1,56 @@
+// Figure 10: average peak memory for varying query size (density 0.50,
+// window 30k). Expected shape: Timing's materialized partial embeddings
+// dwarf TCM's polynomial-space index, and the gap widens with query size.
+// Memory is the engines' accounting-based estimate (see DESIGN.md §5:
+// all engines share one process here, so `ps` peaks are not comparable).
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "datasets/presets.h"
+#include "querygen/query_generator.h"
+
+using namespace tcsm;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<size_t> sizes = {5, 7, 9, 11, 13, 15};
+  const double density = 0.5;
+  const Timestamp window = 30000;
+  const std::vector<EngineKind> engines = {
+      EngineKind::kTcm, EngineKind::kTiming, EngineKind::kSymbiPost,
+      EngineKind::kLocalEnum};
+
+  std::cout << "=== Figure 10: average peak memory (MB) for varying query "
+               "size ===\n\n";
+
+  for (const std::string& name : args.datasets) {
+    const TemporalDataset ds = MakePreset(name, args.scale);
+    const Timestamp w = EffectiveWindow(ds, window);
+    std::cout << "--- " << name << " ---\n";
+    TablePrinter table({"size", "TCM MB", "Timing MB", "SymBi MB",
+                        "RapidFlow* MB", "Timing/TCM"});
+    for (const size_t size : sizes) {
+      QueryGenOptions opt;
+      opt.num_edges = size;
+      opt.density = density;
+      opt.window = w;
+      const std::vector<QueryGraph> queries = GenerateQuerySet(
+          ds, opt, args.queries_per_set, args.seed + size);
+      if (queries.empty()) continue;
+      std::vector<double> mb;
+      for (const EngineKind kind : engines) {
+        const QuerySetResult r =
+            RunQuerySet(ds, queries, kind, w, args.time_limit_ms);
+        mb.push_back(r.AvgPeakMemory() / (1024.0 * 1024.0));
+      }
+      table.AddRow({std::to_string(size), FormatDouble(mb[0], 2),
+                    FormatDouble(mb[1], 2), FormatDouble(mb[2], 2),
+                    FormatDouble(mb[3], 2),
+                    FormatDouble(mb[0] > 0 ? mb[1] / mb[0] : 0, 1)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

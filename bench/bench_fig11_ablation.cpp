@@ -1,0 +1,68 @@
+// Figure 11: effectiveness of the two techniques, varying query size
+// (density 0.50, window 30k):
+//   SymBi        — no temporal filtering, post-check (baseline)
+//   TCM-Pruning  — TC-matchable edge filtering only (Section IV)
+//   TCM          — filtering + time-constrained pruning (Section V)
+// Expected shape: TCM-Pruning ≫ SymBi (filtering does the heavy lifting);
+// TCM adds a further constant-factor speedup.
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "datasets/presets.h"
+#include "querygen/query_generator.h"
+
+using namespace tcsm;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<size_t> sizes = {5, 7, 9, 11, 13, 15};
+  const double density = 0.5;
+  const Timestamp window = 30000;
+  const std::vector<EngineKind> engines = {
+      EngineKind::kSymbiPost, EngineKind::kTcmPruning, EngineKind::kTcm};
+
+  std::cout << "=== Figure 11: evaluating techniques for varying query size "
+               "===\n\n";
+
+  for (const std::string& name : args.datasets) {
+    const TemporalDataset ds = MakePreset(name, args.scale);
+    const Timestamp w = EffectiveWindow(ds, window);
+    std::cout << "--- " << name << " ---\n";
+    TablePrinter time_table({"size", "SymBi ms", "TCM-Pruning ms", "TCM ms",
+                             "Pruning speedup"});
+    TablePrinter solved_table(
+        {"size", "SymBi", "TCM-Pruning", "TCM", "of"});
+    for (const size_t size : sizes) {
+      QueryGenOptions opt;
+      opt.num_edges = size;
+      opt.density = density;
+      opt.window = w;
+      const std::vector<QueryGraph> queries = GenerateQuerySet(
+          ds, opt, args.queries_per_set, args.seed + size);
+      if (queries.empty()) continue;
+      std::vector<QuerySetResult> results;
+      for (const EngineKind kind : engines) {
+        results.push_back(
+            RunQuerySet(ds, queries, kind, w, args.time_limit_ms));
+      }
+      const double symbi = AverageElapsedMs(results, 0, args.time_limit_ms);
+      const double nopr = AverageElapsedMs(results, 1, args.time_limit_ms);
+      const double tcm = AverageElapsedMs(results, 2, args.time_limit_ms);
+      time_table.AddRow({std::to_string(size), FormatDouble(symbi, 2),
+                         FormatDouble(nopr, 2), FormatDouble(tcm, 2),
+                         FormatDouble(tcm > 0 ? nopr / tcm : 0, 2)});
+      solved_table.AddRow({std::to_string(size),
+                           std::to_string(results[0].NumSolved()),
+                           std::to_string(results[1].NumSolved()),
+                           std::to_string(results[2].NumSolved()),
+                           std::to_string(queries.size())});
+    }
+    std::cout << "(a) average elapsed time\n";
+    time_table.Print(std::cout);
+    std::cout << "(b) solved queries\n";
+    solved_table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 8: query processing time (a) and number of solved queries (b)
+// for varying temporal-order density {0, 0.25, 0.5, 0.75, 1}, query size
+// 9, window 30k.
+//
+// Methodology follows the paper exactly: each query *topology* is
+// generated once and equipped with one temporal order per density, and
+// the average excludes only queries that all algorithms failed to solve
+// at every density — so the query set is constant along the sweep.
+// Expected shape: TCM (and, less so, Timing) speed up as density grows;
+// the post-filter baselines are density-insensitive.
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "datasets/presets.h"
+#include "querygen/query_generator.h"
+
+using namespace tcsm;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<double> densities = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const size_t size = 9;
+  const Timestamp window = 30000;
+  const std::vector<EngineKind> engines = {
+      EngineKind::kTcm, EngineKind::kTiming, EngineKind::kSymbiPost,
+      EngineKind::kLocalEnum};
+
+  std::cout << "=== Figure 8: varying density (query size 9, window 30k) "
+               "===\n\n";
+
+  for (const std::string& name : args.datasets) {
+    const TemporalDataset ds = MakePreset(name, args.scale);
+    const Timestamp w = EffectiveWindow(ds, window);
+    std::cout << "--- " << name << " ---\n";
+
+    // One topology per query, five orders each.
+    Rng rng(args.seed);
+    std::vector<std::vector<QueryGraph>> families;  // [query][density]
+    for (size_t i = 0; i < args.queries_per_set; ++i) {
+      QueryGenOptions opt;
+      opt.num_edges = size;
+      opt.window = w;
+      Rng sub = rng.Split();
+      std::vector<QueryGraph> family;
+      if (GenerateQueryWithOrders(ds, opt, densities, &sub, &family)) {
+        families.push_back(std::move(family));
+      }
+    }
+    if (families.empty()) continue;
+
+    // results[density][engine] over the fixed query list.
+    std::vector<std::vector<QuerySetResult>> results(densities.size());
+    for (size_t d = 0; d < densities.size(); ++d) {
+      std::vector<QueryGraph> queries;
+      queries.reserve(families.size());
+      for (const auto& family : families) queries.push_back(family[d]);
+      for (const EngineKind kind : engines) {
+        results[d].push_back(
+            RunQuerySet(ds, queries, kind, w, args.time_limit_ms));
+      }
+    }
+
+    // A query is included iff some engine solved it at some density.
+    std::vector<uint8_t> included(families.size(), 0);
+    for (size_t q = 0; q < families.size(); ++q) {
+      for (size_t d = 0; d < densities.size() && !included[q]; ++d) {
+        for (size_t k = 0; k < engines.size() && !included[q]; ++k) {
+          included[q] = results[d][k].per_query_solved[q];
+        }
+      }
+    }
+    size_t included_count = 0;
+    for (const uint8_t i : included) included_count += i;
+
+    TablePrinter time_table({"density", "TCM ms", "Timing ms", "SymBi ms",
+                             "RapidFlow* ms"});
+    TablePrinter solved_table({"density", "TCM", "Timing", "SymBi",
+                               "RapidFlow*", "of"});
+    for (size_t d = 0; d < densities.size(); ++d) {
+      std::vector<std::string> trow{FormatDouble(densities[d], 2)};
+      std::vector<std::string> srow{FormatDouble(densities[d], 2)};
+      for (size_t k = 0; k < engines.size(); ++k) {
+        double sum = 0;
+        size_t solved = 0;
+        for (size_t q = 0; q < families.size(); ++q) {
+          solved += results[d][k].per_query_solved[q];
+          if (!included[q]) continue;
+          sum += results[d][k].per_query_solved[q]
+                     ? results[d][k].per_query_ms[q]
+                     : args.time_limit_ms;
+        }
+        trow.push_back(FormatDouble(
+            included_count ? sum / static_cast<double>(included_count) : 0,
+            2));
+        srow.push_back(std::to_string(solved));
+      }
+      srow.push_back(std::to_string(families.size()));
+      time_table.AddRow(std::move(trow));
+      solved_table.AddRow(std::move(srow));
+    }
+    std::cout << "(a) average elapsed time (" << included_count << " of "
+              << families.size() << " topologies included)\n";
+    time_table.Print(std::cout);
+    std::cout << "(b) solved queries\n";
+    solved_table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

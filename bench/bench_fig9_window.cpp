@@ -1,0 +1,65 @@
+// Figure 9: query processing time (a) and number of solved queries (b)
+// for varying window size {10k..50k}, query size 9, density 0.50.
+// Expected shape: all engines slow down with larger windows (more live
+// edges, more matches), TCM degrades the least.
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "datasets/presets.h"
+#include "querygen/query_generator.h"
+
+using namespace tcsm;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<Timestamp> windows = {10000, 20000, 30000, 40000, 50000};
+  const size_t size = 9;
+  const double density = 0.5;
+  const std::vector<EngineKind> engines = {
+      EngineKind::kTcm, EngineKind::kTiming, EngineKind::kSymbiPost,
+      EngineKind::kLocalEnum};
+
+  std::cout << "=== Figure 9: varying window size (query size 9, density "
+               "0.50) ===\n\n";
+
+  for (const std::string& name : args.datasets) {
+    const TemporalDataset ds = MakePreset(name, args.scale);
+    std::cout << "--- " << name << " ---\n";
+    TablePrinter time_table({"window", "TCM ms", "Timing ms", "SymBi ms",
+                             "RapidFlow* ms"});
+    TablePrinter solved_table({"window", "TCM", "Timing", "SymBi",
+                               "RapidFlow*", "of"});
+    for (const Timestamp window : windows) {
+      const Timestamp w = EffectiveWindow(ds, window);
+      QueryGenOptions opt;
+      opt.num_edges = size;
+      opt.density = density;
+      opt.window = w;
+      const std::vector<QueryGraph> queries =
+          GenerateQuerySet(ds, opt, args.queries_per_set, args.seed);
+      if (queries.empty()) continue;
+      std::vector<QuerySetResult> results;
+      for (const EngineKind kind : engines) {
+        results.push_back(
+            RunQuerySet(ds, queries, kind, w, args.time_limit_ms));
+      }
+      std::vector<std::string> trow{std::to_string(window)};
+      std::vector<std::string> srow{std::to_string(window)};
+      for (size_t k = 0; k < engines.size(); ++k) {
+        trow.push_back(FormatDouble(
+            AverageElapsedMs(results, k, args.time_limit_ms), 2));
+        srow.push_back(std::to_string(results[k].NumSolved()));
+      }
+      srow.push_back(std::to_string(queries.size()));
+      time_table.AddRow(std::move(trow));
+      solved_table.AddRow(std::move(srow));
+    }
+    std::cout << "(a) average elapsed time\n";
+    time_table.Print(std::cout);
+    std::cout << "(b) solved queries\n";
+    solved_table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

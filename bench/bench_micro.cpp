@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the core operations: query DAG
+// construction, max-min timestamp maintenance, DCS updates, full TCM event
+// processing, and the workload generators.
+#include <benchmark/benchmark.h>
+
+#include "core/tcm_engine.h"
+#include "dag/query_dag.h"
+#include "datasets/presets.h"
+#include "datasets/synthetic.h"
+#include "dcs/dcs_index.h"
+#include "filter/maxmin_index.h"
+#include "querygen/query_generator.h"
+#include "testing/oracle.h"
+
+namespace tcsm {
+namespace {
+
+TemporalDataset BenchDataset() {
+  SyntheticSpec spec;
+  spec.num_vertices = 400;
+  spec.num_edges = 6000;
+  spec.num_vertex_labels = 4;
+  spec.avg_parallel_edges = 2.5;
+  spec.seed = 1234;
+  return GenerateSynthetic(spec);
+}
+
+QueryGraph BenchQuery(size_t edges, double density, uint64_t seed) {
+  const TemporalDataset ds = BenchDataset();
+  QueryGenOptions opt;
+  opt.num_edges = edges;
+  opt.density = density;
+  Rng rng(seed);
+  QueryGraph q;
+  const bool ok = GenerateQuery(ds, opt, &rng, &q);
+  TCSM_CHECK(ok);
+  return q;
+}
+
+void BM_BuildBestDag(benchmark::State& state) {
+  const QueryGraph q =
+      BenchQuery(static_cast<size_t>(state.range(0)), 0.5, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryDag::BuildBestDag(q));
+  }
+}
+BENCHMARK(BM_BuildBestDag)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_FilterMaintenance(benchmark::State& state) {
+  const QueryGraph q =
+      BenchQuery(static_cast<size_t>(state.range(0)), 0.5, 11);
+  const QueryDag dag = QueryDag::BuildBestDag(q);
+  const TemporalDataset ds = BenchDataset();
+  for (auto _ : state) {
+    state.PauseTiming();
+    TemporalGraph g;
+    g.EnsureVertices(ds.vertex_labels.size());
+    for (size_t v = 0; v < ds.vertex_labels.size(); ++v) {
+      g.SetVertexLabel(static_cast<VertexId>(v), ds.vertex_labels[v]);
+    }
+    MaxMinIndex index(&g, &dag);
+    std::vector<UvPair> touched;
+    state.ResumeTiming();
+    for (size_t i = 0; i < 2000; ++i) {
+      const TemporalEdge& e = ds.edges[i];
+      g.InsertEdge(e.src, e.dst, e.ts, e.label);
+      touched.clear();
+      index.OnEdgeInserted(g.Edge(static_cast<EdgeId>(i)), &touched);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FilterMaintenance)->Arg(5)->Arg(9);
+
+void BM_DcsInsertRemove(benchmark::State& state) {
+  const QueryGraph q = BenchQuery(7, 0.5, 13);
+  const QueryDag dag = QueryDag::BuildBestDag(q);
+  const TemporalDataset ds = BenchDataset();
+  TemporalGraph g;
+  g.EnsureVertices(ds.vertex_labels.size());
+  for (size_t v = 0; v < ds.vertex_labels.size(); ++v) {
+    g.SetVertexLabel(static_cast<VertexId>(v), ds.vertex_labels[v]);
+  }
+  for (const TemporalEdge& e : ds.edges) {
+    g.InsertEdge(e.src, e.dst, e.ts, e.label);
+  }
+  // Collect feasible triples once.
+  struct Triple {
+    EdgeId qe;
+    EdgeId id;
+    bool flip;
+  };
+  std::vector<Triple> triples;
+  for (EdgeId id = 0; id < 3000; ++id) {
+    for (EdgeId qe = 0; qe < q.NumEdges(); ++qe) {
+      for (const bool flip : {false, true}) {
+        if (StaticFeasible(q, g, qe, g.Edge(id), flip)) {
+          triples.push_back(Triple{qe, id, flip});
+        }
+      }
+    }
+  }
+  for (auto _ : state) {
+    DcsIndex dcs(&q, &dag);
+    for (const Triple& t : triples) dcs.Insert(t.qe, g.Edge(t.id), t.flip);
+    for (const Triple& t : triples) dcs.Remove(t.qe, g.Edge(t.id), t.flip);
+    benchmark::DoNotOptimize(dcs.stats().num_edges);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(triples.size()) * 2);
+}
+BENCHMARK(BM_DcsInsertRemove);
+
+void BM_TcmStreamEvents(benchmark::State& state) {
+  const TemporalDataset ds = BenchDataset();
+  const QueryGraph q =
+      BenchQuery(static_cast<size_t>(state.range(0)), 0.5, 17);
+  for (auto _ : state) {
+    TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels});
+    CountingSink sink;
+    engine.set_sink(&sink);
+    const Timestamp window = 800;
+    size_t arr = 0;
+    size_t exp = 0;
+    while (arr < ds.edges.size() || exp < arr) {
+      const bool do_expire =
+          exp < arr && (arr >= ds.edges.size() ||
+                        ds.edges[exp].ts + window <= ds.edges[arr].ts);
+      if (do_expire) {
+        engine.OnEdgeExpiry(ds.edges[exp++]);
+      } else {
+        engine.OnEdgeArrival(ds.edges[arr++]);
+      }
+    }
+    benchmark::DoNotOptimize(sink.occurred());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.edges.size()) * 2);
+}
+BENCHMARK(BM_TcmStreamEvents)->Arg(5)->Arg(7);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  SyntheticSpec spec;
+  spec.num_vertices = 1000;
+  spec.num_edges = static_cast<size_t>(state.range(0));
+  spec.avg_parallel_edges = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateSynthetic(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(10000)->Arg(50000);
+
+void BM_QueryGeneration(benchmark::State& state) {
+  const TemporalDataset ds = BenchDataset();
+  QueryGenOptions opt;
+  opt.num_edges = static_cast<size_t>(state.range(0));
+  opt.density = 0.5;
+  Rng rng(19);
+  for (auto _ : state) {
+    QueryGraph q;
+    benchmark::DoNotOptimize(GenerateQuery(ds, opt, &rng, &q));
+  }
+}
+BENCHMARK(BM_QueryGeneration)->Arg(5)->Arg(15);
+
+}  // namespace
+}  // namespace tcsm
+
+BENCHMARK_MAIN();

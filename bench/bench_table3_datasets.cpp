@@ -1,0 +1,55 @@
+// Table III: characteristics of the datasets. Prints the signature of each
+// laptop-scaled preset next to the paper's original numbers so the
+// substitution (DESIGN.md §5) is auditable.
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+#include "datasets/presets.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  const char* V;
+  const char* E;
+  const char* sv;
+  const char* se;
+  const char* davg;
+  const char* mavg;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"netflow", "0.37M", "15.96M", "1", "346672", "85.4", "27.6"},
+    {"wikitalk", "1.14M", "7.83M", "365", "1", "13.7", "2.37"},
+    {"superuser", "0.19M", "1.44M", "5", "3", "14.9", "1.56"},
+    {"stackoverflow", "2.60M", "63.50M", "5", "3", "48.8", "1.75"},
+    {"yahoo", "0.10M", "3.18M", "5", "1", "63.6", "3.51"},
+    {"lsbench", "13.12M", "21.04M", "11", "19", "3.21", "1.00"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tcsm::BenchArgs args = tcsm::ParseBenchArgs(argc, argv);
+  std::cout << "=== Table III: characteristics of datasets ===\n"
+            << "(synthetic presets shaped after the paper's Table III; "
+               "'paper' columns are the original full-scale values)\n\n";
+  tcsm::TablePrinter table({"dataset", "|V|", "|E|", "|Sv|", "|Se|", "davg",
+                            "mavg", "paper|V|", "paper|E|", "paper-davg",
+                            "paper-mavg"});
+  for (const PaperRow& row : kPaper) {
+    const tcsm::TemporalDataset ds =
+        tcsm::MakePreset(row.name, args.scale);
+    const tcsm::DatasetStats s = ds.ComputeStats();
+    table.AddRow({row.name, std::to_string(s.num_vertices),
+                  std::to_string(s.num_edges),
+                  std::to_string(s.num_vertex_labels),
+                  std::to_string(s.num_edge_labels),
+                  tcsm::FormatDouble(s.avg_degree, 1),
+                  tcsm::FormatDouble(s.avg_parallel_edges, 2), row.V, row.E,
+                  row.davg, row.mavg});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Q&A interaction-cascade monitoring on a Superuser-like stream.
+//
+// Stack-exchange networks label interactions answer/comment-question/
+// comment-answer (Table III). The query tracks a "serial answerer"
+// cascade: user X answers (label 0) a question by user Y, then comments
+// on user Z's answer (label 2), then answers a question by user W —
+// answer1 ≺ comment ≺ answer2. This exercises edge labels, a partial
+// (not total) order, and undirected matching in one realistic workload.
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "datasets/presets.h"
+
+using namespace tcsm;
+
+int main() {
+  TemporalDataset ds = MakePreset("superuser", /*scale=*/0.25);
+
+  QueryGraph query;
+  const VertexId x = query.AddVertex(0);
+  const VertexId y = query.AddVertex(0);
+  const VertexId z = query.AddVertex(0);
+  const VertexId w = query.AddVertex(0);
+  const EdgeId answer1 = query.AddEdge(x, y, /*elabel=*/0);
+  const EdgeId comment = query.AddEdge(x, z, /*elabel=*/2);
+  const EdgeId answer2 = query.AddEdge(x, w, /*elabel=*/0);
+  (void)query.AddOrder(answer1, comment);
+  (void)query.AddOrder(comment, answer2);
+
+  std::cout << "Q&A cascade query (answer -> comment-back -> next answer):\n"
+            << query.ToString() << "\n";
+
+  // Labels 0 in superuser presets span several user groups; restrict the
+  // pattern to one label class by relabeling query vertices from the data.
+  // (The preset assigns labels 0..4; class 0 is the largest.)
+  TcmEngine engine(query, GraphSchema{ds.directed, ds.vertex_labels});
+  CountingSink sink;
+  engine.set_sink(&sink);
+  StreamConfig config;
+  config.window = static_cast<Timestamp>(ds.NumEdges() / 8);
+  const StreamResult result = RunStream(ds, config, &engine);
+
+  std::cout << "Streamed " << result.events << " events (" << ds.NumEdges()
+            << " interactions) in " << result.elapsed_ms << " ms\n"
+            << "cascades occurred: " << result.occurred
+            << ", expired: " << result.expired << "\n"
+            << "peak engine state: ~" << result.peak_memory_bytes / 1024
+            << " KiB\n";
+
+  // Contrast with an unordered variant: without ≺ the same topology
+  // matches far more often — the temporal order is what makes the pattern
+  // a cascade rather than a coincidence.
+  QueryGraph unordered;
+  unordered.AddVertex(0);
+  unordered.AddVertex(0);
+  unordered.AddVertex(0);
+  unordered.AddVertex(0);
+  unordered.AddEdge(x, y, 0);
+  unordered.AddEdge(x, z, 2);
+  unordered.AddEdge(x, w, 0);
+  TcmEngine engine2(unordered, GraphSchema{ds.directed, ds.vertex_labels});
+  CountingSink sink2;
+  engine2.set_sink(&sink2);
+  const StreamResult result2 = RunStream(ds, config, &engine2);
+  const double ratio =
+      result.occurred > 0 ? static_cast<double>(result2.occurred) /
+                                static_cast<double>(result.occurred)
+                          : 0.0;
+  std::cout << "without the temporal order the topology alone matches "
+            << result2.occurred << " times (" << ratio << "x)\n";
+  return 0;
+}

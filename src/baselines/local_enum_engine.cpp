@@ -1,0 +1,176 @@
+#include "baselines/local_enum_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "filter/maxmin_index.h"  // StaticFeasible
+
+namespace tcsm {
+
+LocalEnumEngine::LocalEnumEngine(const QueryGraph& query,
+                                 const GraphSchema& schema)
+    : query_(query), g_(schema.directed) {
+  TCSM_CHECK(query_.Validate().ok());
+  g_.EnsureVertices(schema.vertex_labels.size());
+  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
+    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
+  }
+  const size_t m = query_.NumEdges();
+  order_from_.resize(m);
+  for (EdgeId seed = 0; seed < m; ++seed) {
+    std::vector<uint8_t> used(m, 0);
+    used[seed] = 1;
+    Mask64 covered = Bit(query_.Edge(seed).u) | Bit(query_.Edge(seed).v);
+    auto& order = order_from_[seed];
+    for (size_t step = 1; step < m; ++step) {
+      EdgeId pick = kInvalidEdge;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (used[e]) continue;
+        const QueryEdge& qe = query_.Edge(e);
+        if (HasBit(covered, qe.u) || HasBit(covered, qe.v)) {
+          pick = e;
+          break;
+        }
+      }
+      TCSM_CHECK(pick != kInvalidEdge);
+      used[pick] = 1;
+      covered |= Bit(query_.Edge(pick).u) | Bit(query_.Edge(pick).v);
+      order.push_back(pick);
+    }
+  }
+  vmap_.assign(query_.NumVertices(), kInvalidVertex);
+  emap_.assign(query_.NumEdges(), kInvalidEdge);
+  ets_.assign(query_.NumEdges(), 0);
+}
+
+void LocalEnumEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
+  const EdgeId id =
+      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
+  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
+  FindMatches(g_.Edge(id), MatchKind::kOccurred);
+}
+
+void LocalEnumEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
+  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
+  const TemporalEdge ed = g_.Edge(ed_in.id);
+  FindMatches(ed, MatchKind::kExpired);
+  g_.RemoveEdge(ed.id);
+}
+
+void LocalEnumEngine::FindMatches(const TemporalEdge& ed, MatchKind kind) {
+  kind_ = kind;
+  timed_out_ = false;
+  for (EdgeId qe = 0; qe < query_.NumEdges(); ++qe) {
+    for (const bool flip : {false, true}) {
+      if (!StaticFeasible(query_, g_, qe, ed, flip)) continue;
+      const QueryEdge& q = query_.Edge(qe);
+      const VertexId img_u = flip ? ed.dst : ed.src;
+      const VertexId img_v = flip ? ed.src : ed.dst;
+      if (img_u == img_v) continue;
+      order_ = &order_from_[qe];
+      vmap_[q.u] = img_u;
+      vmap_[q.v] = img_v;
+      mapped_vertices_ = Bit(q.u) | Bit(q.v);
+      mapped_edges_ = Bit(qe);
+      emap_[qe] = ed.id;
+      ets_[qe] = ed.ts;
+      used_data_.clear();
+      used_data_.insert(img_u);
+      used_data_.insert(img_v);
+      Extend(0);
+      if (timed_out_) return;
+    }
+  }
+}
+
+void LocalEnumEngine::Extend(size_t step) {
+  ++counters_.search_nodes;
+  if (deadline_ != nullptr && deadline_->Expired()) {
+    timed_out_ = true;
+    return;
+  }
+  if (step == order_->size()) {
+    // Post-check the temporal order on the complete embedding.
+    for (EdgeId a = 0; a < query_.NumEdges(); ++a) {
+      for (const uint32_t b : BitRange(query_.After(a))) {
+        if (!(ets_[a] < ets_[b])) return;
+      }
+    }
+    Embedding embedding;
+    embedding.vertices = vmap_;
+    embedding.edges = emap_;
+    Report(embedding, kind_, 1);
+    return;
+  }
+  const EdgeId qe = (*order_)[step];
+  const QueryEdge& q = query_.Edge(qe);
+  const bool u_mapped = HasBit(mapped_vertices_, q.u);
+  const bool v_mapped = HasBit(mapped_vertices_, q.v);
+  TCSM_CHECK(u_mapped || v_mapped);
+  const VertexId anchor = u_mapped ? vmap_[q.u] : vmap_[q.v];
+  for (const AdjEntry& adj : g_.Adjacency(anchor)) {
+    const TemporalEdge& ed = g_.Edge(adj.edge);
+    if (u_mapped) {
+      TryAssign(step, qe, ed, anchor, ed.Other(anchor));
+    } else {
+      TryAssign(step, qe, ed, ed.Other(anchor), anchor);
+    }
+    if (timed_out_) return;
+  }
+}
+
+void LocalEnumEngine::TryAssign(size_t step, EdgeId qe,
+                                const TemporalEdge& ed, VertexId a,
+                                VertexId b) {
+  const QueryEdge& q = query_.Edge(qe);
+  if (q.elabel != ed.label) return;
+  if (query_.VertexLabel(q.u) != g_.VertexLabel(a) ||
+      query_.VertexLabel(q.v) != g_.VertexLabel(b)) {
+    return;
+  }
+  if (query_.directed() && !(a == ed.src && b == ed.dst)) return;
+  const bool u_mapped = HasBit(mapped_vertices_, q.u);
+  const bool v_mapped = HasBit(mapped_vertices_, q.v);
+  if (u_mapped && vmap_[q.u] != a) return;
+  if (v_mapped && vmap_[q.v] != b) return;
+  if (!u_mapped && used_data_.count(a) > 0) return;
+  if (!v_mapped && used_data_.count(b) > 0) return;
+  if (!u_mapped && !v_mapped && a == b) return;
+  // The same data edge cannot serve two query edges (edge injectivity).
+  if (HasBit(mapped_edges_, qe)) return;
+  for (const uint32_t other : BitRange(mapped_edges_)) {
+    if (emap_[other] == ed.id) return;
+  }
+
+  if (!u_mapped) {
+    vmap_[q.u] = a;
+    mapped_vertices_ |= Bit(q.u);
+    used_data_.insert(a);
+  }
+  if (!v_mapped) {
+    vmap_[q.v] = b;
+    mapped_vertices_ |= Bit(q.v);
+    used_data_.insert(b);
+  }
+  emap_[qe] = ed.id;
+  ets_[qe] = ed.ts;
+  mapped_edges_ |= Bit(qe);
+
+  Extend(step + 1);
+
+  mapped_edges_ &= ~Bit(qe);
+  if (!v_mapped) {
+    used_data_.erase(b);
+    mapped_vertices_ &= ~Bit(q.v);
+  }
+  if (!u_mapped) {
+    used_data_.erase(a);
+    mapped_vertices_ &= ~Bit(q.u);
+  }
+}
+
+size_t LocalEnumEngine::EstimateMemoryBytes() const {
+  return g_.EstimateMemoryBytes();
+}
+
+}  // namespace tcsm

@@ -1,0 +1,192 @@
+#include "baselines/post_filter_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "filter/maxmin_index.h"  // StaticFeasible
+
+namespace tcsm {
+
+PostFilterEngine::PostFilterEngine(const QueryGraph& query,
+                                   const GraphSchema& schema)
+    : query_(query),
+      dag_(QueryDag::BuildBestDag(query_)),
+      g_(schema.directed),
+      dcs_(&query_, &dag_) {
+  TCSM_CHECK(query_.Validate().ok());
+  g_.EnsureVertices(schema.vertex_labels.size());
+  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
+    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
+  }
+  vmap_.assign(query_.NumVertices(), kInvalidVertex);
+  emap_.assign(query_.NumEdges(), kInvalidEdge);
+  ets_.assign(query_.NumEdges(), 0);
+}
+
+void PostFilterEngine::ApplyTriples(const TemporalEdge& ed, bool inserting) {
+  for (EdgeId qe = 0; qe < query_.NumEdges(); ++qe) {
+    for (const bool flip : {false, true}) {
+      if (!StaticFeasible(query_, g_, qe, ed, flip)) continue;
+      if (inserting) {
+        dcs_.Insert(qe, ed, flip);
+      } else {
+        dcs_.Remove(qe, ed, flip);
+      }
+    }
+  }
+}
+
+void PostFilterEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
+  const EdgeId id =
+      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
+  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
+  const TemporalEdge ed = g_.Edge(id);
+  ApplyTriples(ed, /*inserting=*/true);
+  FindMatches(ed, MatchKind::kOccurred);
+}
+
+void PostFilterEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
+  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
+  const TemporalEdge ed = g_.Edge(ed_in.id);
+  FindMatches(ed, MatchKind::kExpired);
+  ApplyTriples(ed, /*inserting=*/false);
+  g_.RemoveEdge(ed.id);
+}
+
+void PostFilterEngine::FindMatches(const TemporalEdge& ed, MatchKind kind) {
+  kind_ = kind;
+  timed_out_ = false;
+  mapped_vertices_ = 0;
+  used_data_.clear();
+  std::fill(vmap_.begin(), vmap_.end(), kInvalidVertex);
+  std::fill(emap_.begin(), emap_.end(), kInvalidEdge);
+
+  std::vector<std::pair<EdgeId, bool>> seeds;
+  dcs_.EdgesOf(ed.id, &seeds);
+  for (const auto& [qe, flip] : seeds) {
+    const QueryEdge& q = query_.Edge(qe);
+    const VertexId img_u = flip ? ed.dst : ed.src;
+    const VertexId img_v = flip ? ed.src : ed.dst;
+    if (!dcs_.D2(q.u, img_u) || !dcs_.D2(q.v, img_v)) continue;
+    seed_edge_ = qe;
+    vmap_[q.u] = img_u;
+    vmap_[q.v] = img_v;
+    mapped_vertices_ = Bit(q.u) | Bit(q.v);
+    used_data_.insert(img_u);
+    used_data_.insert(img_v);
+    emap_[qe] = ed.id;
+    ets_[qe] = ed.ts;
+    ExtendVertices();
+    used_data_.clear();
+    mapped_vertices_ = 0;
+    if (timed_out_) return;
+  }
+}
+
+bool PostFilterEngine::ExtendVertices() {
+  ++counters_.search_nodes;
+  if (deadline_ != nullptr && deadline_->Expired()) {
+    timed_out_ = true;
+    return false;
+  }
+  if (static_cast<size_t>(PopCount(mapped_vertices_)) ==
+      query_.NumVertices()) {
+    // All vertices mapped: enumerate parallel-edge assignments for the
+    // remaining query edges, then post-check the temporal order.
+    unassigned_edges_.clear();
+    for (EdgeId qe = 0; qe < query_.NumEdges(); ++qe) {
+      if (qe != seed_edge_) unassigned_edges_.push_back(qe);
+    }
+    AssignEdges(0);
+    return true;
+  }
+  // Extendable vertex with the fewest DCS candidates.
+  VertexId best_u = kInvalidVertex;
+  EdgeId best_via = kInvalidEdge;
+  const DcsIndex::NbrMap* best_map = nullptr;
+  size_t best_size = SIZE_MAX;
+  for (VertexId u = 0; u < query_.NumVertices(); ++u) {
+    if (HasBit(mapped_vertices_, u)) continue;
+    for (const EdgeId f : query_.IncidentEdges(u)) {
+      const VertexId u2 = query_.Edge(f).Other(u);
+      if (!HasBit(mapped_vertices_, u2)) continue;
+      const DcsIndex::NbrMap* cmap = dcs_.Candidates(f, u2, vmap_[u2]);
+      const size_t size = cmap == nullptr ? 0 : cmap->size();
+      if (size < best_size) {
+        best_size = size;
+        best_u = u;
+        best_via = f;
+        best_map = cmap;
+      }
+    }
+  }
+  TCSM_CHECK(best_u != kInvalidVertex);
+  if (best_map == nullptr || best_map->empty()) return false;
+  for (const auto& [w, cnt] : *best_map) {
+    (void)cnt;
+    if (!dcs_.D2(best_u, w)) continue;
+    if (used_data_.count(w) > 0) continue;
+    bool ok = true;
+    for (const EdgeId f2 : query_.IncidentEdges(best_u)) {
+      if (f2 == best_via) continue;
+      const VertexId u2 = query_.Edge(f2).Other(best_u);
+      if (!HasBit(mapped_vertices_, u2)) continue;
+      const DcsIndex::NbrMap* m2 = dcs_.Candidates(f2, u2, vmap_[u2]);
+      if (m2 == nullptr || m2->count(w) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    vmap_[best_u] = w;
+    mapped_vertices_ |= Bit(best_u);
+    used_data_.insert(w);
+    ExtendVertices();
+    used_data_.erase(w);
+    mapped_vertices_ &= ~Bit(best_u);
+    if (timed_out_) return false;
+  }
+  return true;
+}
+
+bool PostFilterEngine::AssignEdges(size_t edge_idx) {
+  ++counters_.search_nodes;
+  if (deadline_ != nullptr && deadline_->Expired()) {
+    timed_out_ = true;
+    return false;
+  }
+  if (edge_idx == unassigned_edges_.size()) {
+    ReportIfTimeConstrained();
+    return true;
+  }
+  const EdgeId qe = unassigned_edges_[edge_idx];
+  const QueryEdge& q = query_.Edge(qe);
+  const std::vector<ParallelEdge>* plist =
+      dcs_.Parallel(qe, vmap_[q.u], vmap_[q.v]);
+  if (plist == nullptr) return true;
+  for (const ParallelEdge& cand : *plist) {
+    emap_[qe] = cand.edge;
+    ets_[qe] = cand.ts;
+    if (!AssignEdges(edge_idx + 1)) return false;
+  }
+  return true;
+}
+
+void PostFilterEngine::ReportIfTimeConstrained() {
+  // Post-filter: verify every ordered pair of the temporal order.
+  for (EdgeId a = 0; a < query_.NumEdges(); ++a) {
+    for (const uint32_t b : BitRange(query_.After(a))) {
+      if (!(ets_[a] < ets_[b])) return;
+    }
+  }
+  Embedding embedding;
+  embedding.vertices = vmap_;
+  embedding.edges = emap_;
+  Report(embedding, kind_, 1);
+}
+
+size_t PostFilterEngine::EstimateMemoryBytes() const {
+  return g_.EstimateMemoryBytes() + dcs_.EstimateMemoryBytes();
+}
+
+}  // namespace tcsm

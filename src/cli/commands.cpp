@@ -1,0 +1,336 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "baselines/local_enum_engine.h"
+#include "baselines/post_filter_engine.h"
+#include "baselines/timing_engine.h"
+#include "bench_util/table_printer.h"
+#include "core/automorphism.h"
+#include "core/snapshot.h"
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "datasets/presets.h"
+#include "datasets/synthetic.h"
+#include "graph/graph_io.h"
+#include "query/query_io.h"
+#include "querygen/query_generator.h"
+
+namespace tcsm::cli {
+namespace {
+
+/// Tiny flag parser: positional arguments plus --key=value / --switch.
+class FlagSet {
+ public:
+  explicit FlagSet(const Args& args) {
+    for (const std::string& a : args) {
+      if (a.rfind("--", 0) == 0) {
+        const size_t eq = a.find('=');
+        if (eq == std::string::npos) {
+          flags_[a.substr(2)] = "";
+        } else {
+          flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& dflt = "") const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& name, double dflt) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : std::stod(it->second);
+  }
+  int64_t GetInt(const std::string& name, int64_t dflt) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : std::stoll(it->second);
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+};
+
+std::optional<TemporalDataset> LoadDataset(const FlagSet& flags,
+                                           const std::string& path,
+                                           std::ostream& out) {
+  auto ds = LoadEdgeListFile(path, flags.Has("directed"));
+  if (!ds.ok()) {
+    out << "error: " << ds.status().ToString() << "\n";
+    return std::nullopt;
+  }
+  const std::string labels = flags.GetString("labels");
+  if (!labels.empty()) {
+    const Status s = LoadVertexLabelFile(labels, &ds.value());
+    if (!s.ok()) {
+      out << "error: " << s.ToString() << "\n";
+      return std::nullopt;
+    }
+  }
+  return std::move(ds).value();
+}
+
+std::optional<QueryGraph> LoadQuery(const std::string& path,
+                                    std::ostream& out) {
+  auto q = LoadQueryFile(path);
+  if (!q.ok()) {
+    out << "error: " << q.status().ToString() << "\n";
+    return std::nullopt;
+  }
+  return std::move(q).value();
+}
+
+void PrintStats(const TemporalDataset& ds, std::ostream& out) {
+  const DatasetStats s = ds.ComputeStats();
+  TablePrinter table({"|V|", "|E|", "|Sv|", "|Se|", "davg", "mavg",
+                      "span", "window-unit"});
+  table.AddRow({std::to_string(s.num_vertices), std::to_string(s.num_edges),
+                std::to_string(s.num_vertex_labels),
+                std::to_string(s.num_edge_labels),
+                FormatDouble(s.avg_degree, 2),
+                FormatDouble(s.avg_parallel_edges, 2),
+                std::to_string(s.max_ts - s.min_ts),
+                FormatDouble(s.window_unit, 3)});
+  table.Print(out);
+}
+
+class StreamPrintSink : public MatchSink {
+ public:
+  explicit StreamPrintSink(std::ostream& out) : out_(out) {}
+  void OnMatch(const Embedding& m, MatchKind kind, uint64_t) override {
+    out_ << (kind == MatchKind::kOccurred ? "+" : "-");
+    for (size_t u = 0; u < m.vertices.size(); ++u) {
+      out_ << " u" << u << ":" << m.vertices[u];
+    }
+    out_ << " |";
+    for (size_t e = 0; e < m.edges.size(); ++e) {
+      out_ << " e" << e << ":" << m.edges[e];
+    }
+    out_ << "\n";
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace
+
+int CmdStats(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 1) {
+    out << "usage: tcsm stats <edges-file> [--directed] [--labels=file]\n";
+    return 2;
+  }
+  const auto ds = LoadDataset(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+  PrintStats(*ds, out);
+  return 0;
+}
+
+int CmdGenData(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 2) {
+    out << "usage: tcsm gen-data <preset|random> <out-file> [--scale=S] "
+           "[--seed=K] [--vertices=N --edges=M --vlabels=a --elabels=b "
+           "--parallel=p --directed]\n   presets: ";
+    for (const auto& p : PresetNames()) out << p << " ";
+    out << "\n";
+    return 2;
+  }
+  const std::string kind = flags.positional()[0];
+  const std::string path = flags.positional()[1];
+  TemporalDataset ds;
+  if (kind == "random") {
+    SyntheticSpec spec;
+    spec.num_vertices = static_cast<size_t>(flags.GetInt("vertices", 1000));
+    spec.num_edges = static_cast<size_t>(flags.GetInt("edges", 10000));
+    spec.num_vertex_labels =
+        static_cast<size_t>(flags.GetInt("vlabels", 1));
+    spec.num_edge_labels = static_cast<size_t>(flags.GetInt("elabels", 1));
+    spec.avg_parallel_edges = flags.GetDouble("parallel", 1.5);
+    spec.directed = flags.Has("directed");
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    ds = GenerateSynthetic(spec);
+  } else {
+    bool known = false;
+    for (const auto& p : PresetNames()) known = known || p == kind;
+    if (!known) {
+      out << "error: unknown preset '" << kind << "'\n";
+      return 1;
+    }
+    SyntheticSpec spec = PresetSpec(kind, flags.GetDouble("scale", 1.0));
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", spec.seed));
+    ds = GenerateSynthetic(spec);
+  }
+  const Status s = SaveEdgeListFile(ds, path);
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  // Vertex labels go to a sibling file.
+  std::ofstream lf(path + ".labels");
+  for (size_t v = 0; v < ds.vertex_labels.size(); ++v) {
+    lf << v << ' ' << ds.vertex_labels[v] << '\n';
+  }
+  out << "wrote " << ds.NumEdges() << " edges / " << ds.NumVertices()
+      << " vertices to " << path << " (+ " << path << ".labels)\n";
+  PrintStats(ds, out);
+  return 0;
+}
+
+int CmdGenQuery(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 2) {
+    out << "usage: tcsm gen-query <edges-file> <out-file> [--size=m] "
+           "[--density=d] [--window=w] [--seed=K] [--directed] "
+           "[--labels=file]\n";
+    return 2;
+  }
+  const auto ds = LoadDataset(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+  QueryGenOptions opt;
+  opt.num_edges = static_cast<size_t>(flags.GetInt("size", 5));
+  opt.density = flags.GetDouble("density", 0.5);
+  opt.window = flags.GetInt("window", 0);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  QueryGraph q;
+  if (!GenerateQuery(*ds, opt, &rng, &q)) {
+    out << "error: could not extract a connected query of size "
+        << opt.num_edges << "\n";
+    return 1;
+  }
+  const Status s = SaveQueryFile(q, flags.positional()[1]);
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote query (|V|=" << q.NumVertices() << ", |E|=" << q.NumEdges()
+      << ", density=" << FormatDouble(q.OrderDensity(), 2) << ") to "
+      << flags.positional()[1] << "\n";
+  return 0;
+}
+
+int CmdRun(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 2 || !flags.Has("window")) {
+    out << "usage: tcsm run <edges-file> <query-file> --window=w "
+           "[--directed] [--labels=file] [--limit_ms=T] "
+           "[--engine=tcm|timing|symbi|local] [--print] [--canonical]\n";
+    return 2;
+  }
+  const auto ds = LoadDataset(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+  const auto q = LoadQuery(flags.positional()[1], out);
+  if (!q) return 1;
+  if (q->directed() != ds->directed) {
+    out << "error: query and data graph directedness differ\n";
+    return 1;
+  }
+
+  const GraphSchema schema{ds->directed, ds->vertex_labels};
+  std::unique_ptr<ContinuousEngine> engine;
+  const std::string kind = flags.GetString("engine", "tcm");
+  if (kind == "tcm") {
+    engine = std::make_unique<TcmEngine>(*q, schema);
+  } else if (kind == "timing") {
+    engine = std::make_unique<TimingEngine>(*q, schema);
+  } else if (kind == "symbi") {
+    engine = std::make_unique<PostFilterEngine>(*q, schema);
+  } else if (kind == "local") {
+    engine = std::make_unique<LocalEnumEngine>(*q, schema);
+  } else {
+    out << "error: unknown engine '" << kind << "'\n";
+    return 1;
+  }
+
+  StreamPrintSink print_sink(out);
+  CountingSink counting_sink;
+  MatchSink* sink = flags.Has("print")
+                        ? static_cast<MatchSink*>(&print_sink)
+                        : static_cast<MatchSink*>(&counting_sink);
+  // --canonical: collapse automorphic mappings to one pattern instance.
+  std::unique_ptr<CanonicalSink> canonical;
+  if (flags.Has("canonical")) {
+    canonical = std::make_unique<CanonicalSink>(*q, sink);
+    out << "automorphism group size: " << canonical->GroupSize() << "\n";
+    sink = canonical.get();
+  }
+  engine->set_sink(sink);
+  StreamConfig config;
+  config.window = flags.GetInt("window", 0);
+  config.time_limit_ms = flags.GetDouble("limit_ms", 0);
+  const StreamResult res = RunStream(*ds, config, engine.get());
+  out << "engine=" << engine->name() << " events=" << res.events
+      << " occurred=" << res.occurred << " expired=" << res.expired
+      << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
+      << " peak_bytes=" << res.peak_memory_bytes
+      << (res.completed ? "" : " (INCOMPLETE: limit hit)") << "\n";
+  return res.completed ? 0 : 3;
+}
+
+int CmdSnapshot(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 2) {
+    out << "usage: tcsm snapshot <edges-file> <query-file> [--window=w] "
+           "[--directed] [--labels=file] [--limit_ms=T] [--print]\n";
+    return 2;
+  }
+  const auto ds = LoadDataset(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+  const auto q = LoadQuery(flags.positional()[1], out);
+  if (!q) return 1;
+  SnapshotOptions opt;
+  opt.window = flags.GetInt("window", 0);
+  opt.time_limit_ms = flags.GetDouble("limit_ms", 0);
+  if (flags.Has("print")) {
+    const SnapshotResult res = FindAllMatches(*ds, *q, opt);
+    for (const Embedding& m : res.matches) {
+      StreamPrintSink(out).OnMatch(m, MatchKind::kOccurred, 1);
+    }
+    out << res.matches.size() << " matches"
+        << (res.completed ? "" : " (INCOMPLETE)") << "\n";
+    return res.completed ? 0 : 3;
+  }
+  const SnapshotCount res = CountAllMatches(*ds, *q, opt);
+  out << res.matches << " matches"
+      << (res.completed ? "" : " (INCOMPLETE)") << "\n";
+  return res.completed ? 0 : 3;
+}
+
+int Main(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  const auto usage = [&err]() {
+    err << "tcsm — time-constrained continuous subgraph matching\n"
+           "subcommands:\n"
+           "  stats      dataset characteristics\n"
+           "  gen-data   synthesize a temporal edge list\n"
+           "  gen-query  extract a temporal query by random walk\n"
+           "  run        continuous matching over a stream\n"
+           "  snapshot   one-shot matching over the full graph\n";
+    return 2;
+  };
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args rest;
+  for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
+  if (cmd == "stats") return CmdStats(rest, out);
+  if (cmd == "gen-data") return CmdGenData(rest, out);
+  if (cmd == "gen-query") return CmdGenQuery(rest, out);
+  if (cmd == "run") return CmdRun(rest, out);
+  if (cmd == "snapshot") return CmdSnapshot(rest, out);
+  return usage();
+}
+
+}  // namespace tcsm::cli

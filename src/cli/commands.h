@@ -1,0 +1,48 @@
+// Implementations of the `tcsm` command-line tool's subcommands, kept in
+// the library so they are unit-testable. Each command takes its argument
+// list (excluding the subcommand name) and an output stream, and returns
+// a process exit code.
+#ifndef TCSM_CLI_COMMANDS_H_
+#define TCSM_CLI_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcsm::cli {
+
+using Args = std::vector<std::string>;
+
+/// tcsm stats <edges-file> [--directed] [--labels=<file>]
+/// Prints Table III-style dataset characteristics.
+int CmdStats(const Args& args, std::ostream& out);
+
+/// tcsm gen-data <preset|random> <out-file> [--scale=S] [--seed=K]
+///   [--vertices=N --edges=M --vlabels=a --elabels=b --parallel=p
+///    --directed]
+/// Writes a synthetic temporal edge list (and a .labels file).
+int CmdGenData(const Args& args, std::ostream& out);
+
+/// tcsm gen-query <edges-file> <out-file> [--size=m] [--density=d]
+///   [--window=w] [--seed=K] [--directed] [--labels=<file>]
+/// Extracts a random-walk query with a density-targeted temporal order.
+int CmdGenQuery(const Args& args, std::ostream& out);
+
+/// tcsm run <edges-file> <query-file> --window=w [--directed]
+///   [--labels=<file>] [--limit_ms=T] [--engine=tcm|timing|symbi|local]
+///   [--print]
+/// Streams the dataset and reports occurred/expired counts (or every
+/// match with --print).
+int CmdRun(const Args& args, std::ostream& out);
+
+/// tcsm snapshot <edges-file> <query-file> [--window=w] [--directed]
+///   [--labels=<file>] [--limit_ms=T] [--print]
+/// One-shot matching over the full graph (TOM's setting).
+int CmdSnapshot(const Args& args, std::ostream& out);
+
+/// Dispatches to a subcommand; prints usage on errors.
+int Main(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace tcsm::cli
+
+#endif  // TCSM_CLI_COMMANDS_H_

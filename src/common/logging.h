@@ -1,0 +1,29 @@
+// Lightweight CHECK macros. Database-style internal invariants are enforced
+// in all build types; violating them indicates a library bug, so we abort
+// with a readable message rather than continuing with corrupt state.
+#ifndef TCSM_COMMON_LOGGING_H_
+#define TCSM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcsm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "TCSM CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tcsm::internal
+
+#define TCSM_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::tcsm::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+#define TCSM_DCHECK(expr) TCSM_CHECK(expr)
+
+#endif  // TCSM_COMMON_LOGGING_H_

@@ -1,0 +1,23 @@
+#include "common/memory_meter.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tcsm {
+
+size_t ProcessPeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace tcsm

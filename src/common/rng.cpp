@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcsm {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TCSM_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  TCSM_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double alpha) {
+  TCSM_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (alpha <= 0) return NextBounded(n);
+  // Inverse-CDF approximation via the continuous bounded Pareto envelope;
+  // accurate enough for workload skew and O(1) per sample.
+  const double u = NextDouble();
+  double x;
+  if (std::fabs(alpha - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double one_minus = 1.0 - alpha;
+    const double nmax = std::pow(static_cast<double>(n), one_minus);
+    x = std::pow(u * (nmax - 1.0) + 1.0, 1.0 / one_minus);
+  }
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+uint64_t Rng::NextGeometric(double mean) {
+  if (mean <= 0) return 0;
+  const double p = 1.0 / (1.0 + mean);
+  uint64_t k = 0;
+  while (!NextBool(p) && k < 10000) ++k;
+  return k;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace tcsm

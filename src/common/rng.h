@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generator (xoshiro256**) used by the
+// dataset/query generators and property tests. std::mt19937 is avoided so
+// that generated workloads are reproducible across standard libraries.
+#ifndef TCSM_COMMON_RNG_H_
+#define TCSM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace tcsm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent alpha >= 0.
+  /// alpha == 0 degenerates to the uniform distribution.
+  uint64_t NextZipf(uint64_t n, double alpha);
+
+  /// Geometric number of extra repetitions with mean `mean` >= 0
+  /// (returns 0 when mean <= 0).
+  uint64_t NextGeometric(double mean);
+
+  /// Fork an independent stream (for parallel deterministic generation).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_COMMON_RNG_H_

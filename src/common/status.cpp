@@ -1,0 +1,21 @@
+#include "common/status.h"
+
+namespace tcsm {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case StatusCode::kNotFound:
+      return "NotFound: " + message_;
+    case StatusCode::kCorruptInput:
+      return "CorruptInput: " + message_;
+    case StatusCode::kOutOfRange:
+      return "OutOfRange: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace tcsm

@@ -1,0 +1,85 @@
+// Minimal Status / StatusOr used by I/O boundaries (file loaders/parsers).
+// Internal algorithmic invariants use TCSM_CHECK instead; Status is for
+// errors a caller can reasonably handle (missing file, malformed input).
+#ifndef TCSM_COMMON_STATUS_H_
+#define TCSM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruptInput,
+  kOutOfRange,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CorruptInput(std::string msg) {
+    return Status(StatusCode::kCorruptInput, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    TCSM_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TCSM_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    TCSM_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    TCSM_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+// Wall-clock stopwatch and soft deadlines for per-query time limits.
+#ifndef TCSM_COMMON_TIMER_H_
+#define TCSM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tcsm {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline that search loops poll cheaply: `Expired()` only consults the
+/// clock every `kCheckInterval` calls so the hot backtracking path is not
+/// dominated by clock reads.
+class Deadline {
+ public:
+  /// Unlimited deadline.
+  Deadline() : has_limit_(false) {}
+
+  explicit Deadline(double limit_ms)
+      : has_limit_(limit_ms > 0),
+        end_(Clock::now() +
+             std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(limit_ms))) {}
+
+  bool Expired() {
+    if (!has_limit_) return false;
+    if (expired_) return true;
+    if (++calls_ % kCheckInterval != 0) return false;
+    expired_ = Clock::now() >= end_;
+    return expired_;
+  }
+
+  /// Unconditional clock check (used between stream events).
+  bool ExpiredNow() {
+    if (!has_limit_) return false;
+    expired_ = expired_ || Clock::now() >= end_;
+    return expired_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr uint32_t kCheckInterval = 1024;
+
+  bool has_limit_;
+  bool expired_ = false;
+  uint32_t calls_ = 0;
+  Clock::time_point end_{};
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_COMMON_TIMER_H_

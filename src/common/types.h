@@ -1,0 +1,42 @@
+// Fundamental identifier and timestamp types shared across the library.
+#ifndef TCSM_COMMON_TYPES_H_
+#define TCSM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tcsm {
+
+/// Identifier of a vertex in a data or query graph (dense, 0-based).
+using VertexId = uint32_t;
+/// Identifier of an edge in a data or query graph (dense, 0-based).
+using EdgeId = uint32_t;
+/// Vertex or edge label. Label 0 is a valid label ("unlabeled" graphs use
+/// a single label 0 everywhere).
+using Label = uint32_t;
+/// Edge timestamp. The paper models timestamps as natural numbers; we use a
+/// signed 64-bit integer so that -inf/+inf sentinels are representable.
+using Timestamp = int64_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinels used by the max-min timestamp index (Definition IV.3 uses
+/// -inf for "no weak embedding" and +inf for "no temporal descendant").
+inline constexpr Timestamp kMinusInfinity = std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kPlusInfinity = std::numeric_limits<Timestamp>::max();
+
+/// Packs an ordered pair of vertex ids into one 64-bit hash-map key.
+inline constexpr uint64_t PackPair(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+inline constexpr VertexId PairFirst(uint64_t key) {
+  return static_cast<VertexId>(key >> 32);
+}
+inline constexpr VertexId PairSecond(uint64_t key) {
+  return static_cast<VertexId>(key & 0xffffffffu);
+}
+
+}  // namespace tcsm
+
+#endif  // TCSM_COMMON_TYPES_H_

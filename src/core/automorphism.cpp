@@ -1,0 +1,138 @@
+#include "core/automorphism.h"
+
+#include <algorithm>
+
+#include "common/bitmask.h"
+#include "common/logging.h"
+
+namespace tcsm {
+namespace {
+
+struct AutoCtx {
+  const QueryGraph* q;
+  std::vector<VertexId> vmap;   // partial vertex permutation
+  std::vector<uint8_t> used;    // image used?
+  std::vector<QueryAutomorphism>* out;
+};
+
+/// Derives the edge permutation from a complete vertex permutation;
+/// returns false if some edge has no image or labels/order break.
+bool FinishAutomorphism(const QueryGraph& q,
+                        const std::vector<VertexId>& vmap,
+                        QueryAutomorphism* out) {
+  const size_t m = q.NumEdges();
+  out->vertex_map = vmap;
+  out->edge_map.assign(m, kInvalidEdge);
+  for (EdgeId e = 0; e < m; ++e) {
+    const QueryEdge& qe = q.Edge(e);
+    const EdgeId image = q.FindEdge(vmap[qe.u], vmap[qe.v]);
+    if (image == kInvalidEdge) return false;
+    const QueryEdge& ie = q.Edge(image);
+    if (ie.elabel != qe.elabel) return false;
+    if (q.directed() && !(ie.u == vmap[qe.u] && ie.v == vmap[qe.v])) {
+      return false;
+    }
+    out->edge_map[e] = image;
+  }
+  // Bijectivity on edges.
+  Mask64 seen = 0;
+  for (const EdgeId e : out->edge_map) {
+    if (HasBit(seen, e)) return false;
+    seen |= Bit(e);
+  }
+  // The temporal order must be preserved exactly: a ≺ b iff img(a) ≺
+  // img(b).
+  for (EdgeId a = 0; a < m; ++a) {
+    Mask64 image_after = 0;
+    for (const uint32_t b : BitRange(q.After(a))) {
+      image_after |= Bit(out->edge_map[b]);
+    }
+    if (image_after != q.After(out->edge_map[a])) return false;
+  }
+  return true;
+}
+
+void Search(AutoCtx& ctx, VertexId u) {
+  const QueryGraph& q = *ctx.q;
+  if (u == q.NumVertices()) {
+    QueryAutomorphism cand;
+    if (FinishAutomorphism(q, ctx.vmap, &cand)) {
+      ctx.out->push_back(std::move(cand));
+    }
+    return;
+  }
+  for (VertexId w = 0; w < q.NumVertices(); ++w) {
+    if (ctx.used[w]) continue;
+    if (q.VertexLabel(w) != q.VertexLabel(u)) continue;
+    if (q.Degree(w) != q.Degree(u)) continue;
+    // Adjacency consistency with already-mapped vertices.
+    bool ok = true;
+    for (const EdgeId e : q.IncidentEdges(u)) {
+      const VertexId other = q.Edge(e).Other(u);
+      if (other < u) {  // mapped (we assign in vertex order)
+        if (q.FindEdge(w, ctx.vmap[other]) == kInvalidEdge &&
+            q.FindEdge(ctx.vmap[other], w) == kInvalidEdge) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    ctx.vmap[u] = w;
+    ctx.used[w] = 1;
+    Search(ctx, u + 1);
+    ctx.used[w] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<QueryAutomorphism> ComputeAutomorphisms(const QueryGraph& query) {
+  std::vector<QueryAutomorphism> out;
+  AutoCtx ctx;
+  ctx.q = &query;
+  ctx.vmap.assign(query.NumVertices(), kInvalidVertex);
+  ctx.used.assign(query.NumVertices(), 0);
+  ctx.out = &out;
+  Search(ctx, 0);
+  TCSM_CHECK(!out.empty() && "identity must always be found");
+  return out;
+}
+
+CanonicalSink::CanonicalSink(const QueryGraph& query, MatchSink* inner)
+    : automorphisms_(ComputeAutomorphisms(query)), inner_(inner) {}
+
+Embedding CanonicalSink::Canonicalize(const Embedding& embedding) const {
+  Embedding best = embedding;
+  Embedding permuted;
+  for (const QueryAutomorphism& a : automorphisms_) {
+    permuted.vertices.assign(embedding.vertices.size(), 0);
+    permuted.edges.assign(embedding.edges.size(), 0);
+    // If M is an embedding and pi an automorphism, M ∘ pi is an embedding
+    // of the same pattern instance: query element x takes the image of
+    // pi(x).
+    for (size_t u = 0; u < embedding.vertices.size(); ++u) {
+      permuted.vertices[u] = embedding.vertices[a.vertex_map[u]];
+    }
+    for (size_t e = 0; e < embedding.edges.size(); ++e) {
+      permuted.edges[e] = embedding.edges[a.edge_map[e]];
+    }
+    if (permuted.vertices < best.vertices ||
+        (permuted.vertices == best.vertices &&
+         permuted.edges < best.edges)) {
+      best = permuted;
+    }
+  }
+  return best;
+}
+
+void CanonicalSink::OnMatch(const Embedding& embedding, MatchKind kind,
+                            uint64_t multiplicity) {
+  const Embedding canonical = Canonicalize(embedding);
+  auto& seen =
+      kind == MatchKind::kOccurred ? seen_occurred_ : seen_expired_;
+  if (!seen.insert(canonical).second) return;  // duplicate orbit member
+  if (inner_ != nullptr) inner_->OnMatch(canonical, kind, multiplicity);
+}
+
+}  // namespace tcsm

@@ -1,0 +1,62 @@
+// Query automorphisms and pattern-instance deduplication.
+//
+// Engines report *mappings*: a DDoS star with k interchangeable zombies
+// yields k! embeddings per attack. RapidFlow [34] observes that query
+// automorphisms cause such duplicate computation; as an extension we
+// compute the automorphism group of a temporal query graph (respecting
+// labels, directions, and the temporal order) and offer a sink adapter
+// that collapses each automorphism orbit to one canonical instance.
+#ifndef TCSM_CORE_AUTOMORPHISM_H_
+#define TCSM_CORE_AUTOMORPHISM_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+/// One automorphism: a relabeling of query vertices and edges that maps
+/// the query graph onto itself, preserving vertex/edge labels, edge
+/// directions, and the temporal order relation.
+struct QueryAutomorphism {
+  std::vector<VertexId> vertex_map;  // vertex u -> vertex_map[u]
+  std::vector<EdgeId> edge_map;      // edge e -> edge_map[e]
+};
+
+/// Enumerates the full automorphism group (identity included) by
+/// backtracking over label/degree-compatible vertex assignments.
+/// Exponential worst case, but query graphs have at most 64 vertices and
+/// in practice a handful of symmetric branches.
+std::vector<QueryAutomorphism> ComputeAutomorphisms(const QueryGraph& query);
+
+/// Sink adapter that forwards only one representative embedding per
+/// automorphism orbit (the lexicographically smallest image vector).
+/// Multiplicities are forwarded unchanged for the representative.
+class CanonicalSink : public MatchSink {
+ public:
+  CanonicalSink(const QueryGraph& query, MatchSink* inner);
+
+  bool wants_each_embedding() const override { return true; }
+  void OnMatch(const Embedding& embedding, MatchKind kind,
+               uint64_t multiplicity) override;
+
+  /// Orbit size of the group — mappings per pattern instance for a query
+  /// whose embeddings have trivial stabilizers.
+  size_t GroupSize() const { return automorphisms_.size(); }
+
+ private:
+  Embedding Canonicalize(const Embedding& embedding) const;
+
+  std::vector<QueryAutomorphism> automorphisms_;
+  MatchSink* inner_;
+  /// Canonical embeddings already reported per kind (occurred/expired
+  /// tracked separately so an instance can expire after occurring).
+  std::unordered_set<Embedding, EmbeddingHash> seen_occurred_;
+  std::unordered_set<Embedding, EmbeddingHash> seen_expired_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_AUTOMORPHISM_H_

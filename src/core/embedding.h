@@ -1,0 +1,37 @@
+// A (time-constrained) embedding M : V(q) ∪ E(q) -> V(G) ∪ E(G)
+// (Definition II.3), stored as two dense arrays indexed by query vertex /
+// query edge id. Data edges are referred to by their dataset ids so
+// embeddings are comparable across engines and the oracle.
+#ifndef TCSM_CORE_EMBEDDING_H_
+#define TCSM_CORE_EMBEDDING_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tcsm {
+
+struct Embedding {
+  std::vector<VertexId> vertices;  // per query vertex: data vertex
+  std::vector<EdgeId> edges;       // per query edge: data edge id
+
+  bool operator==(const Embedding&) const = default;
+};
+
+struct EmbeddingHash {
+  size_t operator()(const Embedding& e) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t x) {
+      h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    for (const VertexId v : e.vertices) mix(v);
+    for (const EdgeId d : e.edges) mix(static_cast<uint64_t>(d) | (1ull << 40));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_EMBEDDING_H_

@@ -1,0 +1,6 @@
+#include "core/engine.h"
+
+// The engine interface is header-only; this translation unit anchors the
+// vtables of MatchSink/ContinuousEngine.
+
+namespace tcsm {}  // namespace tcsm

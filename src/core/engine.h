@@ -1,0 +1,120 @@
+// Common interface of all continuous-matching engines (TCM and the
+// baselines) plus match sinks. An engine receives arrival/expiration
+// events from the stream driver and reports every time-constrained
+// embedding that occurs or expires.
+#ifndef TCSM_CORE_ENGINE_H_
+#define TCSM_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/embedding.h"
+#include "graph/temporal_edge.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+enum class MatchKind { kOccurred, kExpired };
+
+/// Receives matches from an engine. Engines that can factor out
+/// interchangeable parallel edges (pruning technique 1) ask
+/// `wants_each_embedding` first: counting sinks accept one representative
+/// embedding with a multiplicity instead of the expanded set.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual bool wants_each_embedding() const { return true; }
+  virtual void OnMatch(const Embedding& embedding, MatchKind kind,
+                       uint64_t multiplicity) = 0;
+};
+
+class CountingSink : public MatchSink {
+ public:
+  bool wants_each_embedding() const override { return false; }
+  void OnMatch(const Embedding&, MatchKind kind,
+               uint64_t multiplicity) override {
+    (kind == MatchKind::kOccurred ? occurred_ : expired_) += multiplicity;
+  }
+  uint64_t occurred() const { return occurred_; }
+  uint64_t expired() const { return expired_; }
+
+ private:
+  uint64_t occurred_ = 0;
+  uint64_t expired_ = 0;
+};
+
+class CollectingSink : public MatchSink {
+ public:
+  void OnMatch(const Embedding& embedding, MatchKind kind,
+               uint64_t multiplicity) override {
+    for (uint64_t i = 0; i < multiplicity; ++i) {
+      matches_.emplace_back(embedding, kind);
+    }
+  }
+  const std::vector<std::pair<Embedding, MatchKind>>& matches() const {
+    return matches_;
+  }
+
+ private:
+  std::vector<std::pair<Embedding, MatchKind>> matches_;
+};
+
+/// Static description of the data graph the stream runs over (vertex set
+/// and labels are fixed; only edges arrive/expire).
+struct GraphSchema {
+  bool directed = false;
+  std::vector<Label> vertex_labels;
+};
+
+struct EngineCounters {
+  uint64_t occurred = 0;
+  uint64_t expired = 0;
+  uint64_t search_nodes = 0;
+  /// Wall-clock nanoseconds spent in index maintenance (filter + DCS)
+  /// vs. backtracking. Only the TCM engine fills these.
+  uint64_t update_ns = 0;
+  uint64_t search_ns = 0;
+};
+
+class ContinuousEngine {
+ public:
+  virtual ~ContinuousEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Edge ids must be dense arrival indices (0, 1, 2, ...) — the dataset
+  /// edge ids after TemporalDataset::Normalize().
+  virtual void OnEdgeArrival(const TemporalEdge& ed) = 0;
+  virtual void OnEdgeExpiry(const TemporalEdge& ed) = 0;
+
+  /// Accounting-based footprint of the engine's live state.
+  virtual size_t EstimateMemoryBytes() const = 0;
+
+  /// True when internal capacity limits were exceeded (Timing's
+  /// materialization cap); results are then incomplete.
+  virtual bool overflowed() const { return false; }
+
+  void set_sink(MatchSink* sink) { sink_ = sink; }
+  void set_deadline(Deadline* deadline) { deadline_ = deadline; }
+  const EngineCounters& counters() const { return counters_; }
+
+ protected:
+  void Report(const Embedding& embedding, MatchKind kind,
+              uint64_t multiplicity) {
+    (kind == MatchKind::kOccurred ? counters_.occurred : counters_.expired) +=
+        multiplicity;
+    if (sink_ != nullptr) sink_->OnMatch(embedding, kind, multiplicity);
+  }
+
+  MatchSink* sink_ = nullptr;
+  Deadline* deadline_ = nullptr;
+  EngineCounters counters_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_ENGINE_H_

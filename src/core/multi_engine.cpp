@@ -1,0 +1,55 @@
+#include "core/multi_engine.h"
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+bool MultiQueryEngine::TaggedSink::wants_each_embedding() const {
+  return parent_->multi_sink_ != nullptr;
+}
+
+void MultiQueryEngine::TaggedSink::OnMatch(const Embedding& embedding,
+                                           MatchKind kind,
+                                           uint64_t multiplicity) {
+  (kind == MatchKind::kOccurred ? parent_->counters_.occurred
+                                : parent_->counters_.expired) += multiplicity;
+  if (parent_->multi_sink_ != nullptr) {
+    parent_->multi_sink_->OnMatch(index_, embedding, kind, multiplicity);
+  }
+}
+
+MultiQueryEngine::MultiQueryEngine(const std::vector<QueryGraph>& queries,
+                                   const GraphSchema& schema,
+                                   TcmConfig config) {
+  TCSM_CHECK(!queries.empty());
+  engines_.reserve(queries.size());
+  tagged_.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    engines_.push_back(
+        std::make_unique<TcmEngine>(queries[i], schema, config));
+    tagged_.push_back(std::make_unique<TaggedSink>(this, i));
+    engines_.back()->set_sink(tagged_.back().get());
+  }
+}
+
+void MultiQueryEngine::OnEdgeArrival(const TemporalEdge& ed) {
+  for (auto& engine : engines_) {
+    engine->set_deadline(deadline_);
+    engine->OnEdgeArrival(ed);
+  }
+}
+
+void MultiQueryEngine::OnEdgeExpiry(const TemporalEdge& ed) {
+  for (auto& engine : engines_) {
+    engine->set_deadline(deadline_);
+    engine->OnEdgeExpiry(ed);
+  }
+}
+
+size_t MultiQueryEngine::EstimateMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& engine : engines_) bytes += engine->EstimateMemoryBytes();
+  return bytes;
+}
+
+}  // namespace tcsm

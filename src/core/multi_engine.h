@@ -1,0 +1,70 @@
+// Fan-out engine: monitors many temporal query graphs over one stream by
+// forwarding every arrival/expiration to a set of per-query engines. This
+// is the deployment shape of the paper's motivating applications (a bank
+// watches many laundering patterns; an IDS watches the Verizon top-10
+// attack patterns simultaneously). Sinks are tagged with the query index
+// so detections stay attributable.
+#ifndef TCSM_CORE_MULTI_ENGINE_H_
+#define TCSM_CORE_MULTI_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/tcm_engine.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+/// Receives matches together with the index of the query that produced
+/// them.
+class MultiMatchSink {
+ public:
+  virtual ~MultiMatchSink() = default;
+  virtual void OnMatch(size_t query_index, const Embedding& embedding,
+                       MatchKind kind, uint64_t multiplicity) = 0;
+};
+
+class MultiQueryEngine : public ContinuousEngine {
+ public:
+  /// One TCM engine per query; all queries must share the schema's
+  /// directedness.
+  MultiQueryEngine(const std::vector<QueryGraph>& queries,
+                   const GraphSchema& schema, TcmConfig config = {});
+
+  std::string name() const override { return "TCM-Multi"; }
+  void OnEdgeArrival(const TemporalEdge& ed) override;
+  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  size_t EstimateMemoryBytes() const override;
+
+  void set_multi_sink(MultiMatchSink* sink) { multi_sink_ = sink; }
+
+  size_t NumQueries() const { return engines_.size(); }
+  const EngineCounters& QueryCounters(size_t query_index) const {
+    return engines_[query_index]->counters();
+  }
+
+ private:
+  /// Adapts per-engine reports into tagged multi-sink calls.
+  class TaggedSink : public MatchSink {
+   public:
+    TaggedSink(MultiQueryEngine* parent, size_t index)
+        : parent_(parent), index_(index) {}
+    bool wants_each_embedding() const override;
+    void OnMatch(const Embedding& embedding, MatchKind kind,
+                 uint64_t multiplicity) override;
+
+   private:
+    MultiQueryEngine* parent_;
+    size_t index_;
+  };
+
+  std::vector<std::unique_ptr<TcmEngine>> engines_;
+  std::vector<std::unique_ptr<TaggedSink>> tagged_;
+  MultiMatchSink* multi_sink_ = nullptr;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_MULTI_ENGINE_H_

@@ -1,0 +1,55 @@
+#include "core/snapshot.h"
+
+#include "core/stream_driver.h"
+
+namespace tcsm {
+namespace {
+
+Timestamp EffectiveSnapshotWindow(const TemporalDataset& dataset,
+                                  Timestamp window) {
+  if (window > 0) return window;
+  if (dataset.edges.empty()) return 1;
+  // Larger than the whole time span: nothing expires before the end.
+  return dataset.edges.back().ts - dataset.edges.front().ts + 2;
+}
+
+}  // namespace
+
+SnapshotResult FindAllMatches(const TemporalDataset& dataset,
+                              const QueryGraph& query,
+                              const SnapshotOptions& options) {
+  SnapshotResult result;
+  TcmEngine engine(query, GraphSchema{dataset.directed, dataset.vertex_labels},
+                   options.engine_config);
+  CollectingSink sink;
+  engine.set_sink(&sink);
+  StreamConfig config;
+  config.window = EffectiveSnapshotWindow(dataset, options.window);
+  config.time_limit_ms = options.time_limit_ms;
+  const StreamResult stream = RunStream(dataset, config, &engine);
+  result.completed = stream.completed;
+  result.matches.reserve(stream.occurred);
+  for (const auto& [embedding, kind] : sink.matches()) {
+    if (kind == MatchKind::kOccurred) result.matches.push_back(embedding);
+  }
+  return result;
+}
+
+SnapshotCount CountAllMatches(const TemporalDataset& dataset,
+                              const QueryGraph& query,
+                              const SnapshotOptions& options) {
+  SnapshotCount result;
+  TcmEngine engine(query, GraphSchema{dataset.directed, dataset.vertex_labels},
+                   options.engine_config);
+  CountingSink sink;
+  engine.set_sink(&sink);
+  StreamConfig config;
+  config.window = EffectiveSnapshotWindow(dataset, options.window);
+  config.time_limit_ms = options.time_limit_ms;
+  const StreamResult stream = RunStream(dataset, config, &engine);
+  result.completed = stream.completed;
+  result.matches = sink.occurred();
+  return result;
+}
+
+}  // namespace tcsm

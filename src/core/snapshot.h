@@ -1,0 +1,50 @@
+// One-shot time-constrained subgraph matching on a static temporal graph
+// (the setting of TOM [14]: find all time-constrained embeddings within a
+// time window over a fixed temporal graph). Implemented by streaming the
+// edges through the TCM engine and collecting occurrences, so it shares
+// all of the continuous engine's filtering and pruning.
+#ifndef TCSM_CORE_SNAPSHOT_H_
+#define TCSM_CORE_SNAPSHOT_H_
+
+#include <vector>
+
+#include "core/embedding.h"
+#include "core/tcm_engine.h"
+#include "graph/temporal_dataset.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+struct SnapshotOptions {
+  /// 0 = no window: match over the whole graph.
+  Timestamp window = 0;
+  /// Wall-clock budget; 0 = unlimited.
+  double time_limit_ms = 0;
+  TcmConfig engine_config;
+};
+
+struct SnapshotResult {
+  bool completed = true;
+  std::vector<Embedding> matches;
+};
+
+/// All time-constrained embeddings of `query` in `dataset`. With a window,
+/// an embedding is reported iff all its edges coexist in some window
+/// position (each embedding exactly once, at its occurrence).
+SnapshotResult FindAllMatches(const TemporalDataset& dataset,
+                              const QueryGraph& query,
+                              const SnapshotOptions& options = {});
+
+/// Convenience count-only variant (avoids materializing embeddings and
+/// lets the engine use multiplicity shortcuts).
+struct SnapshotCount {
+  bool completed = true;
+  uint64_t matches = 0;
+};
+SnapshotCount CountAllMatches(const TemporalDataset& dataset,
+                              const QueryGraph& query,
+                              const SnapshotOptions& options = {});
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_SNAPSHOT_H_

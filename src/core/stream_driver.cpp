@@ -1,0 +1,67 @@
+#include "core/stream_driver.h"
+
+#include "common/logging.h"
+#include "common/memory_meter.h"
+#include "common/timer.h"
+
+namespace tcsm {
+
+StreamResult RunStream(const TemporalDataset& dataset,
+                       const StreamConfig& config, ContinuousEngine* engine) {
+  TCSM_CHECK(config.window > 0);
+  StreamResult result;
+  const size_t n = dataset.edges.size();
+  const size_t arrivals =
+      config.max_arrivals == 0 ? n : std::min(n, config.max_arrivals);
+
+  Deadline deadline(config.time_limit_ms);
+  engine->set_deadline(config.time_limit_ms > 0 ? &deadline : nullptr);
+
+  size_t sample_every = config.memory_sample_every;
+  if (sample_every == 0) {
+    sample_every = std::max<size_t>(64, arrivals * 2 / 32);
+  }
+
+  PeakMeter peak;
+  StopWatch watch;
+  const uint64_t base_occurred = engine->counters().occurred;
+  const uint64_t base_expired = engine->counters().expired;
+
+  size_t arr = 0;
+  size_t exp = 0;
+  while (arr < arrivals || exp < arr) {
+    if (deadline.ExpiredNow() || engine->overflowed()) {
+      result.completed = false;
+      break;
+    }
+    const bool have_arrival = arr < arrivals;
+    // Expiration time of edge `exp` is its timestamp + window; process
+    // expirations first on ties.
+    const bool do_expire =
+        exp < arr &&
+        (!have_arrival ||
+         dataset.edges[exp].ts + config.window <= dataset.edges[arr].ts);
+    if (do_expire) {
+      engine->OnEdgeExpiry(dataset.edges[exp]);
+      ++exp;
+    } else {
+      TCSM_CHECK(have_arrival);
+      engine->OnEdgeArrival(dataset.edges[arr]);
+      ++arr;
+    }
+    ++result.events;
+    if (result.events % sample_every == 0) {
+      peak.Observe(engine->EstimateMemoryBytes());
+    }
+  }
+  peak.Observe(engine->EstimateMemoryBytes());
+
+  result.elapsed_ms = watch.ElapsedMs();
+  result.occurred = engine->counters().occurred - base_occurred;
+  result.expired = engine->counters().expired - base_expired;
+  result.peak_memory_bytes = peak.peak_bytes();
+  engine->set_deadline(nullptr);
+  return result;
+}
+
+}  // namespace tcsm

@@ -1,0 +1,157 @@
+// TCM — the paper's algorithm (Algorithm 1 + Algorithm 4).
+//
+// Per event the engine (i) updates its windowed graph, (ii) updates the
+// max-min timestamp indexes for q̂ and q̂⁻¹ (TCMInsertion/TCMDeletion),
+// (iii) diffs TC-matchable-edge verdicts into DCS edge inserts/removals
+// (E±_DCS), and (iv) backtracks from the update edge to enumerate every
+// occurred/expired time-constrained embedding, applying the three
+// time-constrained pruning techniques of Section V:
+//
+//   1. R⁻_M(e) = ∅      — all parallel candidates lead to identical search
+//                         trees; explore one and multiply (or expand) the
+//                         results over the siblings.
+//   2. uniform relation — candidates tried in (reverse-)chronological
+//                         order; the first failure kills all stricter
+//                         siblings.
+//   3. temporal failing set (Definition V.3) — a failed subtree whose
+//                         failing set does not contain e prunes all
+//                         remaining candidates of e.
+//
+// Expirations are matched against the pre-deletion state (the expiring
+// embeddings are exactly those containing the expiring edge), then the
+// structures are updated; see DESIGN.md §3 for why this deviates from the
+// literal order of Algorithm 1.
+#ifndef TCSM_CORE_TCM_ENGINE_H_
+#define TCSM_CORE_TCM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitmask.h"
+#include "core/engine.h"
+#include "dag/query_dag.h"
+#include "dcs/dcs_index.h"
+#include "filter/maxmin_index.h"
+#include "graph/temporal_graph.h"
+
+namespace tcsm {
+
+struct TcmConfig {
+  /// TC-matchable edge filtering (Section IV). Off = DCS holds every
+  /// statically feasible pair, as in SymBi; used for the Table V ablation.
+  bool use_tc_filter = true;
+  /// Also filter with the reverse DAG q̂⁻¹ (Section IV-A, last paragraph).
+  /// Off = forward direction only; an ablation of that design choice.
+  bool use_reverse_filter = true;
+  /// Pick the query DAG with the highest Algorithm-2 score over all roots
+  /// (Algorithm 1 lines 1-6). Off = greedy DAG from vertex 0; an ablation
+  /// of the root-selection heuristic.
+  bool use_best_dag = true;
+  /// Pruning technique 1 (no temporally related edges remain).
+  bool prune_no_relation = true;
+  /// Pruning technique 2 (uniform relation, monotone skip).
+  bool prune_uniform = true;
+  /// Pruning technique 3 (temporal failing sets).
+  bool prune_failing_set = true;
+};
+
+class TcmEngine : public ContinuousEngine {
+ public:
+  TcmEngine(const QueryGraph& query, const GraphSchema& schema,
+            TcmConfig config = {});
+
+  TcmEngine(const TcmEngine&) = delete;
+  TcmEngine& operator=(const TcmEngine&) = delete;
+
+  std::string name() const override;
+  void OnEdgeArrival(const TemporalEdge& ed) override;
+  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  size_t EstimateMemoryBytes() const override;
+
+  const DcsIndex& dcs() const { return dcs_; }
+  const QueryDag& dag() const { return dag_q_; }
+  MaxMinIndex* filter_q() { return filter_q_.get(); }
+  MaxMinIndex* filter_r() { return filter_r_.get(); }
+  const TemporalGraph& graph() const { return g_; }
+
+ private:
+  struct SearchResult {
+    bool found;
+    Mask64 failing;  // temporal failing set; meaningful only when !found
+  };
+
+  struct FreeGroup {
+    EdgeId qe;
+    std::vector<ParallelEdge> alternatives;  // excluding the chosen edge
+  };
+
+  /// Recomputes filter verdicts affected by the update and applies the
+  /// resulting DCS edge delta (E±_DCS of Algorithm 1).
+  void UpdateStructures(const TemporalEdge& ed, bool inserting);
+
+  /// Enumerates all embeddings that contain `ed` (Algorithm 4 seeds).
+  void FindMatches(const TemporalEdge& ed, MatchKind kind);
+
+  SearchResult Extend();
+  SearchResult ExtendEdge(EdgeId qe);
+  SearchResult ExtendVertex();
+  void ReportCurrent();
+  void ExpandGroups(size_t group_idx, Embedding* embedding);
+
+  void MapVertex(VertexId u, VertexId v) {
+    vmap_[u] = v;
+    mapped_vertices_ |= Bit(u);
+    used_data_.insert(v);
+  }
+  void UnmapVertex(VertexId u) {
+    used_data_.erase(vmap_[u]);
+    mapped_vertices_ &= ~Bit(u);
+    vmap_[u] = kInvalidVertex;
+  }
+  void MapEdge(EdgeId qe, EdgeId data_edge, Timestamp ts) {
+    emap_[qe] = data_edge;
+    ets_[qe] = ts;
+    mapped_edges_ |= Bit(qe);
+  }
+  void UnmapEdge(EdgeId qe) {
+    mapped_edges_ &= ~Bit(qe);
+    emap_[qe] = kInvalidEdge;
+  }
+
+  QueryGraph query_;
+  QueryDag dag_q_;
+  QueryDag dag_r_;
+  TcmConfig config_;
+  TemporalGraph g_;
+  std::unique_ptr<MaxMinIndex> filter_q_;
+  std::unique_ptr<MaxMinIndex> filter_r_;
+  DcsIndex dcs_;
+
+  // Scratch for UpdateStructures.
+  std::vector<UvPair> touched_q_;
+  std::vector<UvPair> touched_r_;
+  struct Triple {
+    EdgeId qe;
+    EdgeId data_edge;
+    bool flip;
+  };
+  std::unordered_set<uint64_t> triple_keys_;
+  std::vector<Triple> triple_list_;
+
+  // Backtracking state.
+  MatchKind kind_ = MatchKind::kOccurred;
+  bool timed_out_ = false;
+  std::vector<VertexId> vmap_;
+  std::vector<EdgeId> emap_;
+  std::vector<Timestamp> ets_;
+  Mask64 mapped_vertices_ = 0;
+  Mask64 mapped_edges_ = 0;
+  std::unordered_set<VertexId> used_data_;
+  std::vector<FreeGroup> free_groups_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_TCM_ENGINE_H_

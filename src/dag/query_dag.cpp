@@ -1,0 +1,224 @@
+#include "dag/query_dag.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcsm {
+namespace {
+
+struct Candidate {
+  VertexId v;
+  int64_t score;
+  uint64_t seq;  // insertion order; ties prefer the earliest (Section IV-B)
+};
+
+}  // namespace
+
+QueryDag QueryDag::BuildDagGreedy(const QueryGraph& query, VertexId root) {
+  const size_t n = query.NumVertices();
+  const size_t m = query.NumEdges();
+  TCSM_CHECK(root < n);
+
+  QueryDag dag;
+  dag.query_ = &query;
+  dag.root_ = root;
+  dag.edge_parent_.assign(m, kInvalidVertex);
+  dag.edge_child_.assign(m, kInvalidVertex);
+
+  std::vector<uint8_t> in_dag(n, 0);
+  std::vector<Mask64> anc_edges(n, 0);  // edges on root-to-v paths
+  std::vector<Candidate> cand;
+  std::vector<int> cand_pos(n, -1);
+  uint64_t seq = 0;
+
+  // Score[u']: ordered pairs gained if u' is selected next — for each
+  // future edge f = (u', u'_n) with u'_n outside the DAG, the number of
+  // temporally related edges among f's would-be ancestors (the edges that
+  // would enter u' plus their ancestors). Recomputed every time an edge
+  // (u, u') is visited, exactly as in Lemma IV.2's accounting.
+  auto compute_score = [&](VertexId v) -> int64_t {
+    Mask64 ancestors = 0;
+    for (EdgeId e : query.IncidentEdges(v)) {
+      const VertexId x = query.Edge(e).Other(v);
+      if (in_dag[x]) ancestors |= Bit(e) | anc_edges[x];
+    }
+    int64_t score = 0;
+    for (EdgeId f : query.IncidentEdges(v)) {
+      const VertexId un = query.Edge(f).Other(v);
+      if (!in_dag[un]) {
+        score += PopCount(ancestors & query.DeclaredRelated(f));
+      }
+    }
+    return score;
+  };
+
+  cand.push_back(Candidate{root, 0, seq++});
+  cand_pos[root] = 0;
+
+  while (!cand.empty()) {
+    // Pop the candidate with the highest score; break ties by earliest
+    // insertion.
+    size_t best = 0;
+    for (size_t i = 1; i < cand.size(); ++i) {
+      if (cand[i].score > cand[best].score ||
+          (cand[i].score == cand[best].score &&
+           cand[i].seq < cand[best].seq)) {
+        best = i;
+      }
+    }
+    const Candidate picked = cand[best];
+    cand[best] = cand.back();
+    cand_pos[cand[best].v] = static_cast<int>(best);
+    cand.pop_back();
+    cand_pos[picked.v] = -1;
+
+    const VertexId u = picked.v;
+    in_dag[u] = 1;
+    dag.topo_.push_back(u);
+    dag.score_ += picked.score;
+
+    Mask64 anc = 0;
+    for (EdgeId e : query.IncidentEdges(u)) {
+      const VertexId w = query.Edge(e).Other(u);
+      if (in_dag[w]) {
+        // Edge (w, u): w joined earlier, so it is the parent.
+        dag.edge_parent_[e] = w;
+        dag.edge_child_[e] = u;
+        anc |= Bit(e) | anc_edges[w];
+      }
+    }
+    anc_edges[u] = anc;
+
+    for (EdgeId e : query.IncidentEdges(u)) {
+      const VertexId w = query.Edge(e).Other(u);
+      if (in_dag[w]) continue;
+      if (cand_pos[w] < 0) {
+        cand_pos[w] = static_cast<int>(cand.size());
+        cand.push_back(Candidate{w, 0, seq++});
+      }
+      cand[static_cast<size_t>(cand_pos[w])].score = compute_score(w);
+    }
+  }
+
+  TCSM_CHECK(dag.topo_.size() == n && "query graph must be connected");
+  dag.Finalize();
+  return dag;
+}
+
+QueryDag QueryDag::BuildBestDag(const QueryGraph& query) {
+  QueryDag best;
+  bool have = false;
+  for (VertexId r = 0; r < query.NumVertices(); ++r) {
+    QueryDag dag = BuildDagGreedy(query, r);
+    if (!have || dag.score() > best.score()) {
+      best = std::move(dag);
+      have = true;
+    }
+  }
+  TCSM_CHECK(have);
+  return best;
+}
+
+QueryDag QueryDag::Reversed() const {
+  QueryDag rev;
+  rev.query_ = query_;
+  rev.root_ = root_;  // informational only; the reverse DAG may be multi-root
+  rev.score_ = score_;
+  rev.topo_.assign(topo_.rbegin(), topo_.rend());
+  rev.edge_parent_ = edge_child_;
+  rev.edge_child_ = edge_parent_;
+  rev.Finalize();
+  return rev;
+}
+
+void QueryDag::Finalize() {
+  const QueryGraph& q = *query_;
+  const size_t n = q.NumVertices();
+  const size_t m = q.NumEdges();
+
+  topo_pos_.assign(n, 0);
+  for (size_t i = 0; i < topo_.size(); ++i) topo_pos_[topo_[i]] =
+      static_cast<uint32_t>(i);
+
+  child_edges_.assign(n, {});
+  parent_edges_.assign(n, {});
+  for (EdgeId e = 0; e < m; ++e) {
+    TCSM_CHECK(edge_parent_[e] != kInvalidVertex);
+    TCSM_CHECK(topo_pos_[edge_parent_[e]] < topo_pos_[edge_child_[e]]);
+    child_edges_[edge_parent_[e]].push_back(e);
+    parent_edges_[edge_child_[e]].push_back(e);
+  }
+
+  anc_vertices_.assign(n, 0);
+  for (const VertexId u : topo_) {
+    Mask64 anc = 0;
+    for (EdgeId e : parent_edges_[u]) {
+      anc |= Bit(edge_parent_[e]) | anc_vertices_[edge_parent_[e]];
+    }
+    anc_vertices_[u] = anc;
+  }
+
+  subdag_edges_.assign(n, 0);
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    Mask64 sub = 0;
+    for (EdgeId e : child_edges_[*it]) {
+      sub |= Bit(e) | subdag_edges_[edge_child_[e]];
+    }
+    subdag_edges_[*it] = sub;
+  }
+
+  later_desc_.assign(m, 0);
+  earlier_desc_.assign(m, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Mask64 below = subdag_edges_[edge_child_[e]];
+    later_desc_[e] = below & q.After(e);
+    earlier_desc_[e] = below & q.Before(e);
+  }
+
+  tracked_later_.assign(n, {});
+  tracked_earlier_.assign(n, {});
+  slot_later_.assign(n, std::vector<int8_t>(m, -1));
+  slot_earlier_.assign(n, std::vector<int8_t>(m, -1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeId e = 0; e < m; ++e) {
+      const VertexId endpoint = edge_child_[e];
+      const bool above = endpoint == u || HasBit(anc_vertices_[u], endpoint);
+      if (!above) continue;
+      if ((q.After(e) & subdag_edges_[u]) != 0) {
+        slot_later_[u][e] = static_cast<int8_t>(tracked_later_[u].size());
+        tracked_later_[u].push_back(e);
+      }
+      if ((q.Before(e) & subdag_edges_[u]) != 0) {
+        slot_earlier_[u][e] = static_cast<int8_t>(tracked_earlier_[u].size());
+        tracked_earlier_[u].push_back(e);
+      }
+    }
+  }
+}
+
+size_t QueryDag::CountTemporalPairs() const {
+  size_t pairs = 0;
+  for (EdgeId e = 0; e < query_->NumEdges(); ++e) {
+    pairs += static_cast<size_t>(PopCount(later_desc_[e]) +
+                                 PopCount(earlier_desc_[e]));
+  }
+  return pairs;
+}
+
+std::string QueryDag::ToString() const {
+  std::ostringstream os;
+  os << "dag root=" << root_ << " score=" << score_ << " topo=[";
+  for (size_t i = 0; i < topo_.size(); ++i) {
+    os << (i ? " " : "") << topo_[i];
+  }
+  os << "]\n";
+  for (EdgeId e = 0; e < query_->NumEdges(); ++e) {
+    os << "  e" << e << ": " << edge_parent_[e] << " -> " << edge_child_[e]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tcsm

@@ -1,0 +1,114 @@
+// Query DAG construction and static derived data (Sections II and IV-B).
+//
+// BuildDagGreedy implements Algorithm 2: vertices are added one at a time,
+// always picking the candidate whose selection creates the most ordered
+// pairs in the temporal ancestor-descendant relationship (Definition II.4);
+// ties go to the earliest-inserted candidate. BuildBestDag runs the greedy
+// algorithm from every root and keeps the highest-scoring DAG (Algorithm 1,
+// lines 1-6).
+//
+// A QueryDag also precomputes everything the max-min timestamp index needs:
+// topological order, ancestor-vertex masks, sub-DAG edge masks, and the
+// per-vertex "tracked" query edges for which T[u, v, e] must be maintained.
+#ifndef TCSM_DAG_QUERY_DAG_H_
+#define TCSM_DAG_QUERY_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitmask.h"
+#include "common/types.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+class QueryDag {
+ public:
+  /// Greedy DAG rooted at `root` (Algorithm 2). The score is the sum of
+  /// Score[u] over popped vertices, as in the paper.
+  static QueryDag BuildDagGreedy(const QueryGraph& query, VertexId root);
+
+  /// Best DAG over all roots (Algorithm 1 lines 1-6).
+  static QueryDag BuildBestDag(const QueryGraph& query);
+
+  /// The reverse DAG q̂⁻¹ (all edges flipped). Used to filter with temporal
+  /// ancestors as well as descendants (Section IV-A, last paragraph).
+  QueryDag Reversed() const;
+
+  const QueryGraph& query() const { return *query_; }
+  VertexId root() const { return root_; }
+  int64_t score() const { return score_; }
+
+  /// Selection order; position 0 is the root (for the forward DAG).
+  const std::vector<VertexId>& TopoOrder() const { return topo_; }
+  uint32_t TopoPos(VertexId u) const { return topo_pos_[u]; }
+
+  /// DAG orientation of query edge e: ParentOf(e) -> ChildOf(e).
+  VertexId ParentOf(EdgeId e) const { return edge_parent_[e]; }
+  VertexId ChildOf(EdgeId e) const { return edge_child_[e]; }
+
+  const std::vector<EdgeId>& ChildEdges(VertexId u) const {
+    return child_edges_[u];
+  }
+  const std::vector<EdgeId>& ParentEdges(VertexId u) const {
+    return parent_edges_[u];
+  }
+
+  /// Strict ancestors of u (as a vertex mask).
+  Mask64 AncestorVertices(VertexId u) const { return anc_vertices_[u]; }
+  /// Edges of the sub-DAG q̂_u (all edges on paths starting at u).
+  Mask64 SubDagEdges(VertexId u) const { return subdag_edges_[u]; }
+  /// Temporal descendants of e in this DAG: edges below ChildOf(e) that are
+  /// temporally related to e (Definition II.4), split by direction of ≺.
+  Mask64 LaterDescendants(EdgeId e) const { return later_desc_[e]; }
+  Mask64 EarlierDescendants(EdgeId e) const { return earlier_desc_[e]; }
+
+  /// Number of ordered (ancestor, descendant) pairs with a temporal
+  /// relation — the exact quantity Algorithm 2's score approximates.
+  size_t CountTemporalPairs() const;
+
+  /// Tracked edges at u: query edges e whose child endpoint is u or an
+  /// ancestor of u and which still have later/earlier-related edges inside
+  /// q̂_u. T[u, v, e] is maintained exactly for these; see filter module.
+  const std::vector<EdgeId>& TrackedLater(VertexId u) const {
+    return tracked_later_[u];
+  }
+  const std::vector<EdgeId>& TrackedEarlier(VertexId u) const {
+    return tracked_earlier_[u];
+  }
+  /// Slot of e in TrackedLater(u)/TrackedEarlier(u), or -1.
+  int SlotLater(VertexId u, EdgeId e) const { return slot_later_[u][e]; }
+  int SlotEarlier(VertexId u, EdgeId e) const { return slot_earlier_[u][e]; }
+
+  std::string ToString() const;
+
+ private:
+  QueryDag() = default;
+
+  /// Computes everything derived from (query, orientation, topo order).
+  void Finalize();
+
+  const QueryGraph* query_ = nullptr;
+  VertexId root_ = kInvalidVertex;
+  int64_t score_ = 0;
+
+  std::vector<VertexId> topo_;
+  std::vector<uint32_t> topo_pos_;
+  std::vector<VertexId> edge_parent_;
+  std::vector<VertexId> edge_child_;
+  std::vector<std::vector<EdgeId>> child_edges_;
+  std::vector<std::vector<EdgeId>> parent_edges_;
+  std::vector<Mask64> anc_vertices_;
+  std::vector<Mask64> subdag_edges_;
+  std::vector<Mask64> later_desc_;
+  std::vector<Mask64> earlier_desc_;
+  std::vector<std::vector<EdgeId>> tracked_later_;
+  std::vector<std::vector<EdgeId>> tracked_earlier_;
+  std::vector<std::vector<int8_t>> slot_later_;
+  std::vector<std::vector<int8_t>> slot_earlier_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_DAG_QUERY_DAG_H_

@@ -1,0 +1,87 @@
+#include "datasets/presets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+std::vector<std::string> PresetNames() {
+  return {"netflow", "wikitalk",      "superuser",
+          "stackoverflow", "yahoo", "lsbench"};
+}
+
+SyntheticSpec PresetSpec(const std::string& name, double scale) {
+  SyntheticSpec spec;
+  spec.name = name;
+  // Table III signatures, scaled. Defaults target a few-second stream per
+  // query on a laptop; degree = 2|E|/|V| follows from the V/E ratio.
+  if (name == "netflow") {
+    // |V|=0.37M |E|=15.96M |Sv|=1 |Se|=346k davg=85.4 mavg=27.6
+    spec.num_vertices = 1000;
+    spec.num_edges = 43000;
+    spec.num_vertex_labels = 1;
+    spec.num_edge_labels = 900;
+    spec.avg_parallel_edges = 27.6;
+    spec.degree_skew = 1.0;
+    spec.seed = 101;
+  } else if (name == "wikitalk") {
+    // |V|=1.14M |E|=7.83M |Sv|=365 |Se|=1 davg=13.7 mavg=2.37
+    spec.num_vertices = 8000;
+    spec.num_edges = 55000;
+    spec.num_vertex_labels = 60;
+    spec.num_edge_labels = 1;
+    spec.avg_parallel_edges = 2.37;
+    spec.degree_skew = 1.0;
+    spec.seed = 102;
+  } else if (name == "superuser") {
+    // |V|=0.19M |E|=1.44M |Sv|=5 |Se|=3 davg=14.9 mavg=1.56
+    spec.num_vertices = 6500;
+    spec.num_edges = 48000;
+    spec.num_vertex_labels = 5;
+    spec.num_edge_labels = 3;
+    spec.avg_parallel_edges = 1.56;
+    spec.degree_skew = 0.9;
+    spec.seed = 103;
+  } else if (name == "stackoverflow") {
+    // |V|=2.60M |E|=63.5M |Sv|=5 |Se|=3 davg=48.8 mavg=1.75
+    spec.num_vertices = 2600;
+    spec.num_edges = 63000;
+    spec.num_vertex_labels = 5;
+    spec.num_edge_labels = 3;
+    spec.avg_parallel_edges = 1.75;
+    spec.degree_skew = 0.9;
+    spec.seed = 104;
+  } else if (name == "yahoo") {
+    // |V|=0.10M |E|=3.18M |Sv|=5 |Se|=1 davg=63.6 mavg=3.51
+    spec.num_vertices = 1500;
+    spec.num_edges = 48000;
+    spec.num_vertex_labels = 5;
+    spec.num_edge_labels = 1;
+    spec.avg_parallel_edges = 3.51;
+    spec.degree_skew = 0.9;
+    spec.seed = 105;
+  } else if (name == "lsbench") {
+    // |V|=13.12M |E|=21.04M |Sv|=11 |Se|=19 davg=3.21 mavg=1.00
+    spec.num_vertices = 25000;
+    spec.num_edges = 40000;
+    spec.num_vertex_labels = 11;
+    spec.num_edge_labels = 19;
+    spec.avg_parallel_edges = 1.0;
+    spec.degree_skew = 0.6;
+    spec.seed = 106;
+  } else {
+    TCSM_CHECK(false && "unknown preset name");
+  }
+  spec.num_vertices = std::max<size_t>(
+      16, static_cast<size_t>(static_cast<double>(spec.num_vertices) * scale));
+  spec.num_edges = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(spec.num_edges) * scale));
+  return spec;
+}
+
+TemporalDataset MakePreset(const std::string& name, double scale) {
+  return GenerateSynthetic(PresetSpec(name, scale));
+}
+
+}  // namespace tcsm

@@ -1,0 +1,27 @@
+// Laptop-scaled presets shaped after the six datasets of Table III. The
+// `scale` parameter divides vertex and edge counts (1.0 = the listed
+// default scale, which is already ~1/40-1/200 of the paper's sizes);
+// label alphabets, degree ratios, and parallel-edge multiplicities follow
+// the originals.
+#ifndef TCSM_DATASETS_PRESETS_H_
+#define TCSM_DATASETS_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+
+namespace tcsm {
+
+/// Names: "netflow", "wikitalk", "superuser", "stackoverflow", "yahoo",
+/// "lsbench".
+std::vector<std::string> PresetNames();
+
+/// Spec for a named preset; CHECK-fails on unknown names.
+SyntheticSpec PresetSpec(const std::string& name, double scale = 1.0);
+
+TemporalDataset MakePreset(const std::string& name, double scale = 1.0);
+
+}  // namespace tcsm
+
+#endif  // TCSM_DATASETS_PRESETS_H_

@@ -1,0 +1,72 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+TemporalDataset GenerateSynthetic(const SyntheticSpec& spec) {
+  TCSM_CHECK(spec.num_vertices >= 2);
+  TCSM_CHECK(spec.avg_parallel_edges >= 1.0);
+  Rng rng(spec.seed);
+
+  TemporalDataset ds;
+  ds.name = spec.name;
+  ds.directed = spec.directed;
+  ds.vertex_labels.resize(spec.num_vertices);
+  for (auto& l : ds.vertex_labels) {
+    l = static_cast<Label>(rng.NextBounded(
+        std::max<size_t>(1, spec.num_vertex_labels)));
+  }
+
+  // Draw vertex-pair bundles until the edge budget is exhausted. Endpoint
+  // popularity is Zipf-distributed; a random permutation decouples vertex
+  // ids from popularity ranks.
+  std::vector<VertexId> perm(spec.num_vertices);
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] =
+      static_cast<VertexId>(i);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+
+  // Virtual time horizon; ranks are reassigned at the end anyway.
+  const double horizon = static_cast<double>(spec.num_edges) * 16.0;
+
+  while (ds.edges.size() < spec.num_edges) {
+    const VertexId a =
+        perm[rng.NextZipf(spec.num_vertices, spec.degree_skew)];
+    VertexId b = perm[rng.NextZipf(spec.num_vertices, spec.degree_skew)];
+    if (a == b) continue;  // no self loops
+    // Bundle size: geometric with mean avg_parallel_edges.
+    const size_t bundle =
+        1 + rng.NextGeometric(spec.avg_parallel_edges - 1.0);
+    const Label elabel = static_cast<Label>(
+        rng.NextBounded(std::max<size_t>(1, spec.num_edge_labels)));
+    const Timestamp base =
+        static_cast<Timestamp>(rng.NextDouble() * horizon);
+    for (size_t k = 0; k < bundle && ds.edges.size() < spec.num_edges; ++k) {
+      TemporalEdge e;
+      if (spec.directed && rng.NextBool(0.5)) {
+        e.src = b;
+        e.dst = a;
+      } else {
+        e.src = a;
+        e.dst = b;
+      }
+      if (k == 0 || rng.NextBool(spec.burstiness)) {
+        // Burst: close to the bundle base time.
+        e.ts = base + static_cast<Timestamp>(rng.NextBounded(64));
+      } else {
+        e.ts = static_cast<Timestamp>(rng.NextDouble() * horizon);
+      }
+      e.label = elabel;
+      ds.edges.push_back(e);
+    }
+  }
+
+  ds.RankTimestamps();  // sort by time, timestamps become 1..|E|
+  return ds;
+}
+
+}  // namespace tcsm

@@ -1,0 +1,45 @@
+// Synthetic temporal-graph generator. The paper evaluates on six real and
+// synthetic datasets (Table III); those multi-GB files are not available
+// offline, so the generator reproduces their *signatures* — vertex/edge
+// counts, label alphabet sizes, degree skew, and the average number of
+// parallel edges between adjacent vertex pairs — at laptop scale (see
+// DESIGN.md §5). Timestamps are the arrival ranks 1..|E| (the paper's
+// window unit is the average inter-arrival gap, so a window of w units
+// holds w live edges).
+#ifndef TCSM_DATASETS_SYNTHETIC_H_
+#define TCSM_DATASETS_SYNTHETIC_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "graph/temporal_dataset.h"
+
+namespace tcsm {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  size_t num_vertices = 1000;
+  size_t num_edges = 10000;
+  /// Vertex labels are assigned uniformly from [0, num_vertex_labels).
+  size_t num_vertex_labels = 1;
+  /// Edge labels likewise (1 = unlabeled edges).
+  size_t num_edge_labels = 1;
+  /// Mean number of parallel edges per adjacent vertex pair (m_avg).
+  double avg_parallel_edges = 1.0;
+  /// Zipf exponent of endpoint popularity (0 = uniform; ~0.8-1.2 gives the
+  /// heavy-tailed degrees of real interaction networks).
+  double degree_skew = 0.9;
+  /// Fraction of each parallel bundle emitted as a burst around a common
+  /// base time (parallel edges in traffic/transactions are bursty).
+  double burstiness = 0.7;
+  bool directed = false;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset matching `spec`. Self loops are never produced
+/// (embeddings cannot use them; see DESIGN.md).
+TemporalDataset GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace tcsm
+
+#endif  // TCSM_DATASETS_SYNTHETIC_H_

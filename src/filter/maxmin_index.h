@@ -1,0 +1,118 @@
+// Max-min timestamp index T(q̂) — the paper's core filtering structure
+// (Section IV-C). One instance is bound to one query DAG (q̂ or q̂⁻¹).
+//
+// For each DAG vertex u, candidate data vertex v with matching label, and
+// tracked query edge e (see QueryDag::TrackedLater/TrackedEarlier), the
+// index maintains
+//
+//   Later(u,v,e)  = max over weak embeddings M' of q̂_u at v of
+//                     min{ T(M'(e')) : e ≺ e', e' in q̂_u }      (Def. IV.3)
+//   Earlier(u,v,e)= min over weak embeddings M' of q̂_u at v of
+//                     max{ T(M'(e')) : e' ≺ e, e' in q̂_u }      (symmetric)
+//
+// plus Weak(u,v) = "a weak embedding of q̂_u at v exists". By Lemma IV.3
+// (and its mirror), query edge e = (u1,u2) is TC-matchable to data edge
+// (v1,v2,t) in this DAG iff Weak holds at the child endpoint and
+// Earlier < t < Later there.
+//
+// Entries are created lazily (dynamic programming over the DAG, Eq. (1))
+// and updated incrementally on edge arrival/expiration by recomputing only
+// affected (u, v) entries in reverse topological order — Algorithm 3
+// (TCMInsertion / TCMDeletion).
+#ifndef TCSM_FILTER_MAXMIN_INDEX_H_
+#define TCSM_FILTER_MAXMIN_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dag/query_dag.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+/// A (query vertex, data vertex) pair whose filter gate changed; the DCS
+/// layer re-evaluates the matchability of data edges incident to v against
+/// query edges entering u.
+struct UvPair {
+  VertexId u;
+  VertexId v;
+};
+
+/// Static (timestamp-independent) feasibility of mapping query edge qe onto
+/// data edge ed with the given endpoint correspondence.
+/// flip == false: qe.u -> ed.src, qe.v -> ed.dst; flip == true: swapped.
+/// Directed graphs admit only flip == false (query direction u->v must
+/// match data direction src->dst).
+bool StaticFeasible(const QueryGraph& query, const TemporalGraph& graph,
+                    EdgeId qe, const TemporalEdge& ed, bool flip);
+
+class MaxMinIndex {
+ public:
+  /// `graph` and `dag` must outlive the index. The graph must be the
+  /// engine's live windowed graph; the index reads adjacency lazily.
+  MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag);
+
+  /// Incremental update after `ed` was inserted into the graph
+  /// (TCMInsertion). Appends to `touched` the entries whose gate values
+  /// (Weak or a slot of an edge entering u) changed.
+  void OnEdgeInserted(const TemporalEdge& ed, std::vector<UvPair>* touched);
+
+  /// Incremental update after `ed` was removed from the graph
+  /// (TCMDeletion).
+  void OnEdgeRemoved(const TemporalEdge& ed, std::vector<UvPair>* touched);
+
+  /// Temporal half of Lemma IV.3 for this DAG. The caller must have
+  /// checked StaticFeasible already.
+  bool CheckMatchable(EdgeId qe, const TemporalEdge& ed, bool flip);
+
+  /// T[u, v, e] accessors (used by tests and examples). Untracked edges
+  /// report +inf / -inf when a weak embedding exists, else -inf / +inf.
+  Timestamp Later(VertexId u, VertexId v, EdgeId e);
+  Timestamp Earlier(VertexId u, VertexId v, EdgeId e);
+  bool Weak(VertexId u, VertexId v);
+
+  const QueryDag& dag() const { return *dag_; }
+
+  size_t NumEntries() const;
+  size_t EstimateMemoryBytes() const;
+
+ private:
+  struct Entry {
+    bool weak = false;
+    std::vector<Timestamp> later;    // slots: dag.TrackedLater(u)
+    std::vector<Timestamp> earlier;  // slots: dag.TrackedEarlier(u)
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Returns the entry for (u, v), computing it bottom-up if absent.
+  /// Label mismatch yields a permanent "no weak embedding" entry.
+  const Entry& GetEntry(VertexId u, VertexId v);
+
+  Entry ComputeEntry(VertexId u, VertexId v);
+
+  /// True when old/new differ on Weak or on a slot of an edge entering u.
+  bool GateChanged(VertexId u, const Entry& before, const Entry& after) const;
+
+  /// Marks (u, v) dirty if its entry exists (lazy entries need no update).
+  void MarkDirty(VertexId u, VertexId v);
+
+  /// Recomputes dirty entries in reverse topological order, propagating
+  /// changes to existing parent entries; fills `touched`.
+  void ProcessDirty(std::vector<UvPair>* touched);
+
+  const TemporalGraph* graph_;
+  const QueryDag* dag_;
+  const QueryGraph* query_;
+
+  std::vector<std::unordered_map<VertexId, Entry>> entries_;  // per u
+  /// Dirty sets bucketed by topological position of u.
+  std::vector<std::unordered_map<VertexId, uint8_t>> dirty_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_FILTER_MAXMIN_INDEX_H_

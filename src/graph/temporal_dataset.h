@@ -1,0 +1,67 @@
+// A full temporal data graph G as a static edge list sorted by timestamp.
+// The stream driver replays a dataset against an engine: each edge produces
+// an arrival event at its timestamp and an expiration event at ts + delta
+// (Algorithm 1, set L).
+#ifndef TCSM_GRAPH_TEMPORAL_DATASET_H_
+#define TCSM_GRAPH_TEMPORAL_DATASET_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/temporal_edge.h"
+
+namespace tcsm {
+
+struct DatasetStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_vertex_labels = 0;
+  size_t num_edge_labels = 0;
+  double avg_degree = 0;          // d_avg of Table III (2|E|/|V|)
+  double avg_parallel_edges = 0;  // m_avg of Table III
+  Timestamp min_ts = 0;
+  Timestamp max_ts = 0;
+  /// Average time span between two consecutive edges; the paper uses this
+  /// as the unit of the window size delta (Section VI-A).
+  double window_unit = 1.0;
+};
+
+struct TemporalDataset {
+  std::string name;
+  bool directed = false;
+  std::vector<Label> vertex_labels;
+  /// Sorted by (ts, id). Edge ids are positions in this vector.
+  std::vector<TemporalEdge> edges;
+
+  size_t NumVertices() const { return vertex_labels.size(); }
+  size_t NumEdges() const { return edges.size(); }
+
+  /// Stable-sorts edges by timestamp and reassigns dense ids.
+  void Normalize() {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const TemporalEdge& a, const TemporalEdge& b) {
+                       return a.ts < b.ts;
+                     });
+    for (size_t i = 0; i < edges.size(); ++i) {
+      edges[i].id = static_cast<EdgeId>(i);
+    }
+  }
+
+  /// Replaces timestamps by their rank (1..|E|), preserving order. This
+  /// matches the running example where edge sigma_i arrives at time i and
+  /// makes a window of w "units" hold exactly w live edges.
+  void RankTimestamps() {
+    Normalize();
+    for (size_t i = 0; i < edges.size(); ++i) {
+      edges[i].ts = static_cast<Timestamp>(i + 1);
+    }
+  }
+
+  DatasetStats ComputeStats() const;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_GRAPH_TEMPORAL_DATASET_H_

@@ -1,0 +1,25 @@
+// Plain edge records shared by the streaming graph and dataset loaders.
+#ifndef TCSM_GRAPH_TEMPORAL_EDGE_H_
+#define TCSM_GRAPH_TEMPORAL_EDGE_H_
+
+#include "common/types.h"
+
+namespace tcsm {
+
+/// An edge of a temporal graph. Parallel edges between the same endpoints
+/// are distinct records with (usually) different timestamps, per
+/// Definition II.1 of the paper. For directed graphs the edge points
+/// src -> dst; for undirected graphs the (src, dst) order is storage order.
+struct TemporalEdge {
+  EdgeId id = kInvalidEdge;
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Timestamp ts = 0;
+  Label label = 0;
+
+  VertexId Other(VertexId v) const { return v == src ? dst : src; }
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_GRAPH_TEMPORAL_EDGE_H_

@@ -1,0 +1,78 @@
+#include "graph/temporal_graph.h"
+
+#include "common/logging.h"
+#include "common/memory_meter.h"
+
+namespace tcsm {
+
+VertexId TemporalGraph::AddVertex(Label label) {
+  vertex_labels_.push_back(label);
+  adj_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+void TemporalGraph::EnsureVertices(size_t n) {
+  while (vertex_labels_.size() < n) AddVertex(0);
+}
+
+void TemporalGraph::SetVertexLabel(VertexId v, Label label) {
+  TCSM_CHECK(v < vertex_labels_.size());
+  vertex_labels_[v] = label;
+}
+
+EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
+                                 Label label) {
+  TCSM_CHECK(src < vertex_labels_.size() && dst < vertex_labels_.size());
+  // No simple query can match a self loop (vertex images are injective);
+  // loaders drop them on ingest and the store rejects them outright.
+  TCSM_CHECK(src != dst && "self loops are not supported");
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(TemporalEdge{id, src, dst, ts, label});
+  alive_.push_back(1);
+  adj_[src].push_back(AdjEntry{dst, id, ts, label, /*out=*/true});
+  if (dst != src) {
+    adj_[dst].push_back(AdjEntry{src, id, ts, label, /*out=*/false});
+  }
+  ++num_alive_;
+  return id;
+}
+
+void TemporalGraph::RemoveEdge(EdgeId id) {
+  TCSM_CHECK(id < edges_.size() && alive_[id]);
+  const TemporalEdge& e = edges_[id];
+  auto erase_from = [&](VertexId v) {
+    auto& dq = adj_[v];
+    if (!dq.empty() && dq.front().edge == id) {
+      dq.pop_front();
+      return;
+    }
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+      if (it->edge == id) {
+        dq.erase(it);
+        return;
+      }
+    }
+    TCSM_CHECK(false && "edge missing from adjacency");
+  };
+  erase_from(e.src);
+  if (e.dst != e.src) erase_from(e.dst);
+  alive_[id] = 0;
+  --num_alive_;
+}
+
+size_t TemporalGraph::EstimateMemoryBytes() const {
+  size_t bytes = VectorBytes(vertex_labels_) + VectorBytes(alive_);
+  // Only live edges count toward the window footprint.
+  bytes += num_alive_ * sizeof(TemporalEdge);
+  for (const auto& dq : adj_) bytes += dq.size() * sizeof(AdjEntry);
+  return bytes;
+}
+
+void TemporalGraph::ClearEdges() {
+  edges_.clear();
+  alive_.clear();
+  num_alive_ = 0;
+  for (auto& dq : adj_) dq.clear();
+}
+
+}  // namespace tcsm

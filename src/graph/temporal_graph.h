@@ -1,0 +1,81 @@
+// Sliding-window temporal multigraph: the "current state g of G" from
+// Algorithm 1 of the paper. Edges arrive in timestamp order and expire in
+// the same order (FIFO), so per-vertex adjacency lists stay chronologically
+// sorted with O(1) amortized insertion at the back and removal at the front
+// (Section III, "Updating the data structures").
+#ifndef TCSM_GRAPH_TEMPORAL_GRAPH_H_
+#define TCSM_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/temporal_edge.h"
+
+namespace tcsm {
+
+/// One adjacency-list entry of a live edge.
+struct AdjEntry {
+  VertexId nbr;
+  EdgeId edge;
+  Timestamp ts;
+  Label elabel;
+  /// True when the edge leaves this vertex (src side). Ignored for
+  /// undirected graphs.
+  bool out;
+};
+
+class TemporalGraph {
+ public:
+  explicit TemporalGraph(bool directed = false) : directed_(directed) {}
+
+  bool directed() const { return directed_; }
+
+  /// Adds an isolated vertex and returns its id.
+  VertexId AddVertex(Label label);
+
+  /// Grows the vertex set to `n` vertices, new ones labeled 0.
+  void EnsureVertices(size_t n);
+  void SetVertexLabel(VertexId v, Label label);
+
+  /// Inserts a live edge (arrival event) and returns its id. Timestamps
+  /// must be non-decreasing across insertions (streaming order).
+  EdgeId InsertEdge(VertexId src, VertexId dst, Timestamp ts, Label label = 0);
+
+  /// Removes a live edge (expiration event). O(1) when edges expire in
+  /// FIFO order, which the stream driver guarantees; falls back to a linear
+  /// scan otherwise so tests may remove arbitrary edges.
+  void RemoveEdge(EdgeId id);
+
+  size_t NumVertices() const { return vertex_labels_.size(); }
+  size_t NumEdgesEver() const { return edges_.size(); }
+  size_t NumAliveEdges() const { return num_alive_; }
+
+  Label VertexLabel(VertexId v) const { return vertex_labels_[v]; }
+  const TemporalEdge& Edge(EdgeId id) const { return edges_[id]; }
+  bool Alive(EdgeId id) const { return alive_[id]; }
+
+  /// Live incident edges of v in chronological order (both directions for
+  /// directed graphs; check AdjEntry::out).
+  const std::deque<AdjEntry>& Adjacency(VertexId v) const { return adj_[v]; }
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+
+  /// Approximate heap footprint of the live state (adjacency + labels).
+  size_t EstimateMemoryBytes() const;
+
+  /// Removes all edges but keeps vertices (used between experiment runs).
+  void ClearEdges();
+
+ private:
+  bool directed_;
+  size_t num_alive_ = 0;
+  std::vector<Label> vertex_labels_;
+  std::vector<TemporalEdge> edges_;   // all edges ever inserted
+  std::vector<uint8_t> alive_;        // parallel to edges_
+  std::vector<std::deque<AdjEntry>> adj_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_GRAPH_TEMPORAL_GRAPH_H_

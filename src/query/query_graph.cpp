@@ -1,0 +1,132 @@
+#include "query/query_graph.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+VertexId QueryGraph::AddVertex(Label label) {
+  TCSM_CHECK(vertex_labels_.size() < kMaxVertices);
+  vertex_labels_.push_back(label);
+  incident_.emplace_back();
+  return static_cast<VertexId>(vertex_labels_.size() - 1);
+}
+
+EdgeId QueryGraph::AddEdge(VertexId u, VertexId v, Label elabel) {
+  TCSM_CHECK(u < vertex_labels_.size() && v < vertex_labels_.size());
+  TCSM_CHECK(u != v && "self loops are not supported in query graphs");
+  TCSM_CHECK(FindEdge(u, v) == kInvalidEdge &&
+             "parallel query edges are not supported");
+  TCSM_CHECK(edges_.size() < kMaxEdges);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(QueryEdge{u, v, elabel});
+  incident_[u].push_back(id);
+  incident_[v].push_back(id);
+  before_.push_back(0);
+  after_.push_back(0);
+  declared_before_.push_back(0);
+  declared_after_.push_back(0);
+  return id;
+}
+
+Status QueryGraph::AddOrder(EdgeId a, EdgeId b) {
+  if (a >= edges_.size() || b >= edges_.size()) {
+    return Status::InvalidArgument("order references unknown edge");
+  }
+  if (a == b) return Status::InvalidArgument("order must be irreflexive");
+  if (HasBit(after_[b], a)) {
+    return Status::InvalidArgument("order would create a cycle");
+  }
+  declared_after_[a] |= Bit(b);
+  declared_before_[b] |= Bit(a);
+  if (HasBit(after_[a], b)) return Status::Ok();  // already implied
+  // Close transitively: everything at-or-before a precedes everything
+  // at-or-after b.
+  const Mask64 lows = before_[a] | Bit(a);
+  const Mask64 highs = after_[b] | Bit(b);
+  for (uint32_t x : BitRange(lows)) {
+    after_[x] |= highs;
+  }
+  for (uint32_t y : BitRange(highs)) {
+    before_[y] |= lows;
+  }
+  return Status::Ok();
+}
+
+size_t QueryGraph::NumOrderPairs() const {
+  size_t pairs = 0;
+  for (const Mask64 m : after_) pairs += static_cast<size_t>(PopCount(m));
+  return pairs;
+}
+
+double QueryGraph::OrderDensity() const {
+  const size_t m = edges_.size();
+  if (m < 2) return 0.0;
+  const double total = static_cast<double>(m) * (m - 1) / 2.0;
+  return static_cast<double>(NumOrderPairs()) / total;
+}
+
+EdgeId QueryGraph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= incident_.size()) return kInvalidEdge;
+  for (EdgeId e : incident_[u]) {
+    const QueryEdge& qe = edges_[e];
+    if (qe.u == u && qe.v == v) return e;
+    // Undirected queries treat (u, v) and (v, u) as the same edge;
+    // directed queries may hold both orientations (e.g., a request and its
+    // reply between the same two hosts).
+    if (!directed_ && qe.u == v && qe.v == u) return e;
+  }
+  return kInvalidEdge;
+}
+
+Status QueryGraph::Validate() const {
+  if (vertex_labels_.empty()) {
+    return Status::InvalidArgument("query has no vertices");
+  }
+  // Connectivity via BFS over vertices (matching seeds rely on connected
+  // queries: every partial embedding can be extended through an edge).
+  std::vector<uint8_t> seen(vertex_labels_.size(), 0);
+  std::vector<VertexId> stack{0};
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (EdgeId e : incident_[u]) {
+      const VertexId w = edges_[e].Other(u);
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  if (visited != vertex_labels_.size()) {
+    return Status::InvalidArgument("query graph is not connected");
+  }
+  return Status::Ok();
+}
+
+std::string QueryGraph::ToString() const {
+  std::ostringstream os;
+  os << (directed_ ? "directed" : "undirected") << " query |V|="
+     << NumVertices() << " |E|=" << NumEdges()
+     << " density=" << OrderDensity() << "\n";
+  for (size_t v = 0; v < vertex_labels_.size(); ++v) {
+    os << "  v" << v << " label=" << vertex_labels_[v] << "\n";
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    os << "  e" << e << " (" << edges_[e].u
+       << (directed_ ? " -> " : " -- ") << edges_[e].v
+       << ") elabel=" << edges_[e].elabel << "\n";
+  }
+  for (size_t a = 0; a < edges_.size(); ++a) {
+    for (uint32_t b : BitRange(after_[a])) {
+      os << "  e" << a << " < e" << b << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tcsm

@@ -1,0 +1,111 @@
+// Temporal query graph q = (V(q), E(q), L_q, ≺) — Definition II.2 of the
+// paper. The strict partial order ≺ on edges is kept transitively closed in
+// two 64-bit masks per edge, so temporal-relationship tests during
+// filtering and backtracking are single AND instructions.
+#ifndef TCSM_QUERY_QUERY_GRAPH_H_
+#define TCSM_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitmask.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tcsm {
+
+/// A query edge between vertices u and v. For directed queries the edge
+/// points u -> v; for undirected queries (u, v) is storage order only.
+struct QueryEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Label elabel = 0;
+
+  VertexId Other(VertexId x) const { return x == u ? v : u; }
+};
+
+class QueryGraph {
+ public:
+  /// Maximum query size supported by the bitmask representation. The paper
+  /// evaluates query sizes 5..15 edges.
+  static constexpr uint32_t kMaxVertices = 64;
+  static constexpr uint32_t kMaxEdges = 64;
+
+  explicit QueryGraph(bool directed = false) : directed_(directed) {}
+
+  bool directed() const { return directed_; }
+
+  VertexId AddVertex(Label label);
+
+  /// Adds an edge between distinct vertices; parallel query edges and self
+  /// loops are rejected (query graphs are simple; only the *data* graph is
+  /// a multigraph — Section II).
+  EdgeId AddEdge(VertexId u, VertexId v, Label elabel = 0);
+
+  /// Declares a ≺ b and closes the relation transitively. Fails if it
+  /// would create a cycle (the relation must stay a strict partial order).
+  Status AddOrder(EdgeId a, EdgeId b);
+
+  size_t NumVertices() const { return vertex_labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  Label VertexLabel(VertexId v) const { return vertex_labels_[v]; }
+  const QueryEdge& Edge(EdgeId e) const { return edges_[e]; }
+
+  /// Edge ids incident to v.
+  const std::vector<EdgeId>& IncidentEdges(VertexId v) const {
+    return incident_[v];
+  }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(incident_[v].size());
+  }
+
+  /// {e' : e' ≺ e} — edges that must be matched to strictly smaller
+  /// timestamps than e's image (transitively closed).
+  Mask64 Before(EdgeId e) const { return before_[e]; }
+  /// {e' : e ≺ e'} (transitively closed).
+  Mask64 After(EdgeId e) const { return after_[e]; }
+  /// All edges temporally related to e (either direction).
+  Mask64 Related(EdgeId e) const { return before_[e] | after_[e]; }
+
+  /// The pairs as declared by AddOrder, before transitive closure.
+  /// Algorithm 2's greedy score counts declared pairs (this is the only
+  /// reading consistent with Example IV.2 of the paper); all matching
+  /// semantics use the closed relation.
+  Mask64 DeclaredAfter(EdgeId e) const { return declared_after_[e]; }
+  Mask64 DeclaredRelated(EdgeId e) const {
+    return declared_after_[e] | declared_before_[e];
+  }
+
+  bool Precedes(EdgeId a, EdgeId b) const { return HasBit(after_[a], b); }
+
+  /// Number of ordered pairs in ≺ (after transitive closure).
+  size_t NumOrderPairs() const;
+
+  /// Density of the temporal order: |≺| / C(|E|, 2) (Section VI,
+  /// "Queries"). Zero for single-edge queries.
+  double OrderDensity() const;
+
+  /// Returns the edge id between u and v, or kInvalidEdge.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Structural validation: connectivity, label sanity. The order is kept
+  /// valid by construction.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  bool directed_;
+  std::vector<Label> vertex_labels_;
+  std::vector<QueryEdge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<Mask64> before_;
+  std::vector<Mask64> after_;
+  std::vector<Mask64> declared_before_;
+  std::vector<Mask64> declared_after_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,111 @@
+#include "query/query_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tcsm {
+
+StatusOr<QueryGraph> ParseQuery(std::istream& in) {
+  std::string line;
+  size_t lineno = 0;
+  bool have_header = false;
+  size_t want_v = 0, want_e = 0;
+  QueryGraph query;
+  auto fail = [&](const std::string& what) {
+    return Status::CorruptInput(what + " at line " + std::to_string(lineno));
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip trailing comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "t") {
+      std::string mode;
+      if (!(ls >> want_v >> want_e)) return fail("bad header");
+      ls >> mode;
+      query = QueryGraph(mode == "directed");
+      have_header = true;
+    } else if (tag == "v") {
+      if (!have_header) return fail("vertex before header");
+      int64_t id, label;
+      if (!(ls >> id >> label)) return fail("bad vertex");
+      if (static_cast<size_t>(id) != query.NumVertices()) {
+        return fail("vertex ids must be dense and in order");
+      }
+      query.AddVertex(static_cast<Label>(label));
+    } else if (tag == "e") {
+      if (!have_header) return fail("edge before header");
+      int64_t id, u, v, elabel = 0;
+      if (!(ls >> id >> u >> v)) return fail("bad edge");
+      ls >> elabel;
+      if (static_cast<size_t>(id) != query.NumEdges()) {
+        return fail("edge ids must be dense and in order");
+      }
+      if (static_cast<size_t>(u) >= query.NumVertices() ||
+          static_cast<size_t>(v) >= query.NumVertices()) {
+        return fail("edge endpoint out of range");
+      }
+      query.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                    static_cast<Label>(elabel));
+    } else if (tag == "o") {
+      int64_t a, b;
+      if (!(ls >> a >> b)) return fail("bad order");
+      const Status s = query.AddOrder(static_cast<EdgeId>(a),
+                                      static_cast<EdgeId>(b));
+      if (!s.ok()) return fail(s.message());
+    } else {
+      return fail("unknown tag '" + tag + "'");
+    }
+  }
+  if (!have_header) return Status::CorruptInput("missing query header");
+  if (query.NumVertices() != want_v || query.NumEdges() != want_e) {
+    return Status::CorruptInput("header counts do not match body");
+  }
+  const Status s = query.Validate();
+  if (!s.ok()) return s;
+  return query;
+}
+
+StatusOr<QueryGraph> ParseQueryString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseQuery(in);
+}
+
+StatusOr<QueryGraph> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParseQuery(in);
+}
+
+std::string SerializeQuery(const QueryGraph& query) {
+  std::ostringstream os;
+  os << "t " << query.NumVertices() << ' ' << query.NumEdges()
+     << (query.directed() ? " directed" : " undirected") << '\n';
+  for (size_t v = 0; v < query.NumVertices(); ++v) {
+    os << "v " << v << ' ' << query.VertexLabel(static_cast<VertexId>(v))
+       << '\n';
+  }
+  for (size_t e = 0; e < query.NumEdges(); ++e) {
+    const QueryEdge& qe = query.Edge(static_cast<EdgeId>(e));
+    os << "e " << e << ' ' << qe.u << ' ' << qe.v << ' ' << qe.elabel << '\n';
+  }
+  // Export the declared pairs; the closure is reconstructed on load.
+  for (size_t a = 0; a < query.NumEdges(); ++a) {
+    for (uint32_t b : BitRange(query.DeclaredAfter(static_cast<EdgeId>(a)))) {
+      os << "o " << a << ' ' << b << '\n';
+    }
+  }
+  return os.str();
+}
+
+Status SaveQueryFile(const QueryGraph& query, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << SerializeQuery(query);
+  return Status::Ok();
+}
+
+}  // namespace tcsm

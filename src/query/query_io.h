@@ -1,0 +1,29 @@
+// Text format for temporal query graphs:
+//
+//   t <num_vertices> <num_edges> [directed]
+//   v <id> <label>
+//   e <id> <u> <v> [elabel]
+//   o <a> <b>          # edge a precedes edge b (a ≺ b)
+//
+// Vertices and edges must be declared with dense, in-order ids.
+#ifndef TCSM_QUERY_QUERY_IO_H_
+#define TCSM_QUERY_QUERY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+StatusOr<QueryGraph> ParseQuery(std::istream& in);
+StatusOr<QueryGraph> ParseQueryString(const std::string& text);
+StatusOr<QueryGraph> LoadQueryFile(const std::string& path);
+
+std::string SerializeQuery(const QueryGraph& query);
+Status SaveQueryFile(const QueryGraph& query, const std::string& path);
+
+}  // namespace tcsm
+
+#endif  // TCSM_QUERY_QUERY_IO_H_

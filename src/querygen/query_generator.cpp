@@ -1,0 +1,217 @@
+#include "querygen/query_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tcsm {
+namespace {
+
+struct WalkEdge {
+  VertexId a;  // data endpoints
+  VertexId b;
+  const TemporalEdge* edge;  // representative data edge (its timestamp
+                             // seeds the temporal order)
+};
+
+/// One random-walk attempt confined to dataset edge range [lo, hi).
+bool TryWalk(const TemporalDataset& ds, const QueryGenOptions& opt, Rng* rng,
+             size_t lo, size_t hi, std::vector<WalkEdge>* out) {
+  // Slice adjacency.
+  std::unordered_map<VertexId, std::vector<const TemporalEdge*>> adj;
+  for (size_t i = lo; i < hi; ++i) {
+    const TemporalEdge& e = ds.edges[i];
+    adj[e.src].push_back(&e);
+    adj[e.dst].push_back(&e);
+  }
+  if (adj.empty()) return false;
+
+  const TemporalEdge& first = ds.edges[lo + rng->NextBounded(hi - lo)];
+  std::vector<VertexId> visited{first.src};
+  std::unordered_map<uint64_t, bool> used_pairs;
+  out->clear();
+
+  VertexId cur = first.src;
+  for (size_t step = 0; step < opt.max_walk_steps; ++step) {
+    if (out->size() == opt.num_edges) return true;
+    // Occasionally restart from a visited vertex to grow non-path shapes
+    // (stars, trees) as a data-graph random walk naturally does when it
+    // backtracks.
+    if (rng->NextBool(0.25)) {
+      cur = visited[rng->NextBounded(visited.size())];
+    }
+    auto it = adj.find(cur);
+    if (it == adj.end() || it->second.empty()) {
+      cur = visited[rng->NextBounded(visited.size())];
+      continue;
+    }
+    const TemporalEdge* e = it->second[rng->NextBounded(it->second.size())];
+    const VertexId nxt = e->Other(cur);
+    if (nxt == cur) continue;
+    const uint64_t key =
+        PackPair(std::min(cur, nxt), std::max(cur, nxt));
+    if (!used_pairs[key]) {
+      used_pairs[key] = true;
+      out->push_back(WalkEdge{cur, nxt, e});
+      visited.push_back(nxt);
+    }
+    cur = nxt;
+  }
+  return out->size() == opt.num_edges;
+}
+
+}  // namespace
+
+namespace {
+
+/// Applies a density-targeted temporal order to a bare topology, given
+/// the query edges sorted by their witness timestamps. AddOrder keeps the
+/// relation transitively closed, so the achieved density can slightly
+/// overshoot ("densities close to 0.25" — Section VI).
+void ApplyOrder(QueryGraph* query,
+                const std::vector<std::pair<EdgeId, Timestamp>>& edge_ts,
+                double density, Rng* rng) {
+  const size_t m = edge_ts.size();
+  if (m < 2) return;
+  const size_t total_pairs = m * (m - 1) / 2;
+  const size_t target = static_cast<size_t>(
+      density * static_cast<double>(total_pairs) + 0.5);
+  if (target >= total_pairs) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        TCSM_CHECK(
+            query->AddOrder(edge_ts[i].first, edge_ts[j].first).ok());
+      }
+    }
+  } else if (target > 0) {
+    std::vector<std::pair<EdgeId, EdgeId>> pairs;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        pairs.emplace_back(edge_ts[i].first, edge_ts[j].first);
+      }
+    }
+    for (size_t i = pairs.size(); i > 1; --i) {
+      std::swap(pairs[i - 1], pairs[rng->NextBounded(i)]);
+    }
+    for (const auto& [a, b] : pairs) {
+      if (query->NumOrderPairs() >= target) break;
+      TCSM_CHECK(query->AddOrder(a, b).ok());
+    }
+  }
+}
+
+/// Extracts a topology by random walk; fills the bare (order-free) query
+/// and its edges sorted by witness timestamp.
+bool GenerateTopology(const TemporalDataset& dataset,
+                      const QueryGenOptions& options, Rng* rng,
+                      QueryGraph* out,
+                      std::vector<std::pair<EdgeId, Timestamp>>* edge_ts) {
+  TCSM_CHECK(options.num_edges >= 1 &&
+             options.num_edges <= QueryGraph::kMaxEdges);
+  if (dataset.edges.empty()) return false;
+
+  std::vector<WalkEdge> walk;
+  bool ok = false;
+  for (size_t attempt = 0; attempt < options.max_attempts && !ok;
+       ++attempt) {
+    size_t lo = 0;
+    size_t hi = dataset.edges.size();
+    if (options.window > 0) {
+      // Pick a slice [t0, t0 + window); edges are sorted by timestamp so
+      // the slice is a contiguous index range.
+      const size_t pivot = rng->NextBounded(dataset.edges.size());
+      const Timestamp t0 = dataset.edges[pivot].ts;
+      lo = pivot;
+      while (lo > 0 && dataset.edges[lo - 1].ts > t0 - 1) --lo;
+      hi = pivot;
+      while (hi < dataset.edges.size() &&
+             dataset.edges[hi].ts < t0 + options.window) {
+        ++hi;
+      }
+      if (hi - lo < options.num_edges) continue;
+    }
+    ok = TryWalk(dataset, options, rng, lo, hi, &walk);
+  }
+  if (!ok) return false;
+
+  // Build the query graph: data vertices -> dense query ids, labels copied.
+  QueryGraph query(dataset.directed);
+  std::unordered_map<VertexId, VertexId> vid;
+  auto map_vertex = [&](VertexId dv) {
+    auto it = vid.find(dv);
+    if (it != vid.end()) return it->second;
+    const VertexId qv = query.AddVertex(dataset.vertex_labels[dv]);
+    vid.emplace(dv, qv);
+    return qv;
+  };
+  edge_ts->clear();
+  for (const WalkEdge& we : walk) {
+    // Directed queries keep the data edge's direction.
+    VertexId from = we.a;
+    VertexId to = we.b;
+    if (dataset.directed && !(we.edge->src == we.a && we.edge->dst == we.b)) {
+      from = we.edge->src;
+      to = we.edge->dst;
+    }
+    const EdgeId qe =
+        query.AddEdge(map_vertex(from), map_vertex(to), we.edge->label);
+    edge_ts->emplace_back(qe, we.edge->ts);
+  }
+  std::sort(edge_ts->begin(), edge_ts->end(),
+            [](const auto& x, const auto& y) { return x.second < y.second; });
+  TCSM_CHECK(query.Validate().ok());
+  *out = std::move(query);
+  return true;
+}
+
+}  // namespace
+
+bool GenerateQuery(const TemporalDataset& dataset,
+                   const QueryGenOptions& options, Rng* rng,
+                   QueryGraph* out) {
+  std::vector<std::pair<EdgeId, Timestamp>> edge_ts;
+  QueryGraph query;
+  if (!GenerateTopology(dataset, options, rng, &query, &edge_ts)) {
+    return false;
+  }
+  ApplyOrder(&query, edge_ts, options.density, rng);
+  *out = std::move(query);
+  return true;
+}
+
+bool GenerateQueryWithOrders(const TemporalDataset& dataset,
+                             const QueryGenOptions& options,
+                             const std::vector<double>& densities, Rng* rng,
+                             std::vector<QueryGraph>* out) {
+  std::vector<std::pair<EdgeId, Timestamp>> edge_ts;
+  QueryGraph topology;
+  if (!GenerateTopology(dataset, options, rng, &topology, &edge_ts)) {
+    return false;
+  }
+  out->clear();
+  for (const double density : densities) {
+    QueryGraph q = topology;  // same topology, fresh order
+    Rng order_rng = rng->Split();
+    ApplyOrder(&q, edge_ts, density, &order_rng);
+    out->push_back(std::move(q));
+  }
+  return true;
+}
+
+std::vector<QueryGraph> GenerateQuerySet(const TemporalDataset& dataset,
+                                         const QueryGenOptions& options,
+                                         size_t count, uint64_t seed) {
+  std::vector<QueryGraph> queries;
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Rng sub = rng.Split();
+    QueryGraph q;
+    if (GenerateQuery(dataset, options, &sub, &q)) {
+      queries.push_back(std::move(q));
+    }
+  }
+  return queries;
+}
+
+}  // namespace tcsm

@@ -1,0 +1,52 @@
+// Query workload generator (Section VI, "Queries"): query graphs are
+// extracted from the data graph by random walk, so labels and topology
+// follow the data distribution and at least one time-constrained embedding
+// of the query occurs during the stream. The temporal order is derived
+// from the actual timestamps of the walked edges and thinned/closed to a
+// target density in {0, 0.25, 0.5, 0.75, 1}.
+#ifndef TCSM_QUERYGEN_QUERY_GENERATOR_H_
+#define TCSM_QUERYGEN_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/temporal_dataset.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+struct QueryGenOptions {
+  /// Query size = number of edges (paper: 5, 7, 9, 11, 13, 15).
+  size_t num_edges = 9;
+  /// Temporal-order density: |≺| / C(m, 2). 0 = no order, 1 = total order.
+  double density = 0.5;
+  /// When > 0 the random walk is confined to a window-sized time slice so
+  /// the witness embedding fits into one window.
+  Timestamp window = 0;
+  size_t max_attempts = 100;
+  size_t max_walk_steps = 4000;
+};
+
+/// Returns false when no connected subgraph of the requested size could be
+/// extracted (e.g., the dataset is too sparse in every slice).
+bool GenerateQuery(const TemporalDataset& dataset,
+                   const QueryGenOptions& options, Rng* rng, QueryGraph* out);
+
+/// One random-walk topology equipped with one temporal order per entry of
+/// `densities` (the paper's Figure 8 methodology: "for each query graph,
+/// we create 5 different temporal orders"). out[i] differs from out[j]
+/// only in the order relation. options.density is ignored.
+bool GenerateQueryWithOrders(const TemporalDataset& dataset,
+                             const QueryGenOptions& options,
+                             const std::vector<double>& densities, Rng* rng,
+                             std::vector<QueryGraph>* out);
+
+/// Generates `count` queries with consecutive sub-seeds; queries that fail
+/// to generate are skipped, so the result may be shorter than `count`.
+std::vector<QueryGraph> GenerateQuerySet(const TemporalDataset& dataset,
+                                         const QueryGenOptions& options,
+                                         size_t count, uint64_t seed);
+
+}  // namespace tcsm
+
+#endif  // TCSM_QUERYGEN_QUERY_GENERATOR_H_

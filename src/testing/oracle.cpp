@@ -1,0 +1,235 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tcsm {
+namespace {
+
+/// Connected edge order for naive backtracking: each edge after the first
+/// shares an endpoint with an earlier one.
+std::vector<EdgeId> ConnectedEdgeOrder(const QueryGraph& q) {
+  const size_t m = q.NumEdges();
+  std::vector<EdgeId> order;
+  std::vector<uint8_t> used(m, 0);
+  Mask64 covered = 0;
+  for (size_t step = 0; step < m; ++step) {
+    EdgeId pick = kInvalidEdge;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (used[e]) continue;
+      const QueryEdge& qe = q.Edge(e);
+      if (step == 0 || HasBit(covered, qe.u) || HasBit(covered, qe.v)) {
+        pick = e;
+        break;
+      }
+    }
+    TCSM_CHECK(pick != kInvalidEdge && "query must be connected");
+    used[pick] = 1;
+    covered |= Bit(q.Edge(pick).u) | Bit(q.Edge(pick).v);
+    order.push_back(pick);
+  }
+  return order;
+}
+
+struct EnumCtx {
+  const TemporalGraph* g;
+  const QueryGraph* q;
+  bool check_order;
+  std::vector<EdgeId> order;
+  std::vector<VertexId> vmap;
+  std::vector<EdgeId> emap;
+  std::vector<Timestamp> ets;
+  Mask64 mapped_v = 0;
+  Mask64 mapped_e = 0;
+  std::unordered_set<VertexId> used_v;
+  std::unordered_set<EdgeId> used_e;
+  std::vector<Embedding>* out;
+};
+
+bool OrderOk(const EnumCtx& ctx, EdgeId qe, Timestamp ts) {
+  if (!ctx.check_order) return true;
+  for (const uint32_t e : BitRange(ctx.q->Before(qe) & ctx.mapped_e)) {
+    if (!(ctx.ets[e] < ts)) return false;
+  }
+  for (const uint32_t e : BitRange(ctx.q->After(qe) & ctx.mapped_e)) {
+    if (!(ts < ctx.ets[e])) return false;
+  }
+  return true;
+}
+
+/// Attempts to map query edge `qe` to data edge `ed` with the endpoint
+/// correspondence qe.u -> a, qe.v -> b; recurses on success.
+void Recurse(EnumCtx& ctx, size_t step);
+
+void TryAssign(EnumCtx& ctx, size_t step, EdgeId qe, const TemporalEdge& ed,
+               VertexId a, VertexId b) {
+  const QueryGraph& q = *ctx.q;
+  const TemporalGraph& g = *ctx.g;
+  const QueryEdge& e = q.Edge(qe);
+  if (e.elabel != ed.label) return;
+  if (q.VertexLabel(e.u) != g.VertexLabel(a) ||
+      q.VertexLabel(e.v) != g.VertexLabel(b)) {
+    return;
+  }
+  if (q.directed() && !(a == ed.src && b == ed.dst)) return;
+  if (ctx.used_e.count(ed.id) > 0) return;
+  // Endpoint consistency + injectivity.
+  const bool u_mapped = HasBit(ctx.mapped_v, e.u);
+  const bool v_mapped = HasBit(ctx.mapped_v, e.v);
+  if (u_mapped && ctx.vmap[e.u] != a) return;
+  if (v_mapped && ctx.vmap[e.v] != b) return;
+  if (!u_mapped && ctx.used_v.count(a) > 0) return;
+  if (!v_mapped && ctx.used_v.count(b) > 0) return;
+  if (!u_mapped && !v_mapped && a == b) return;
+  if (!OrderOk(ctx, qe, ed.ts)) return;
+
+  if (!u_mapped) {
+    ctx.vmap[e.u] = a;
+    ctx.mapped_v |= Bit(e.u);
+    ctx.used_v.insert(a);
+  }
+  if (!v_mapped) {
+    ctx.vmap[e.v] = b;
+    ctx.mapped_v |= Bit(e.v);
+    ctx.used_v.insert(b);
+  }
+  ctx.emap[qe] = ed.id;
+  ctx.ets[qe] = ed.ts;
+  ctx.mapped_e |= Bit(qe);
+  ctx.used_e.insert(ed.id);
+
+  Recurse(ctx, step + 1);
+
+  ctx.used_e.erase(ed.id);
+  ctx.mapped_e &= ~Bit(qe);
+  if (!v_mapped) {
+    ctx.used_v.erase(b);
+    ctx.mapped_v &= ~Bit(e.v);
+  }
+  if (!u_mapped) {
+    ctx.used_v.erase(a);
+    ctx.mapped_v &= ~Bit(e.u);
+  }
+}
+
+void Recurse(EnumCtx& ctx, size_t step) {
+  const QueryGraph& q = *ctx.q;
+  const TemporalGraph& g = *ctx.g;
+  if (step == ctx.order.size()) {
+    Embedding emb;
+    emb.vertices = ctx.vmap;
+    emb.edges = ctx.emap;
+    ctx.out->push_back(std::move(emb));
+    return;
+  }
+  const EdgeId qe = ctx.order[step];
+  const QueryEdge& e = q.Edge(qe);
+  const bool u_mapped = HasBit(ctx.mapped_v, e.u);
+  const bool v_mapped = HasBit(ctx.mapped_v, e.v);
+  if (!u_mapped && !v_mapped) {
+    // Only the first edge: try every live edge in both orientations.
+    for (EdgeId id = 0; id < g.NumEdgesEver(); ++id) {
+      if (!g.Alive(id)) continue;
+      const TemporalEdge& ed = g.Edge(id);
+      TryAssign(ctx, step, qe, ed, ed.src, ed.dst);
+      TryAssign(ctx, step, qe, ed, ed.dst, ed.src);
+    }
+    return;
+  }
+  // Scan the adjacency of a mapped endpoint.
+  const VertexId anchor = u_mapped ? ctx.vmap[e.u] : ctx.vmap[e.v];
+  for (const AdjEntry& adj : g.Adjacency(anchor)) {
+    const TemporalEdge& ed = g.Edge(adj.edge);
+    if (u_mapped) {
+      // e.u -> anchor; the other endpoint of ed maps to e.v.
+      TryAssign(ctx, step, qe, ed, anchor, ed.Other(anchor));
+    } else {
+      TryAssign(ctx, step, qe, ed, ed.Other(anchor), anchor);
+    }
+  }
+}
+
+/// Achievable subtree aggregates over explicit path-tree homomorphisms.
+/// For `later`: the set of attainable min-timestamps among images of
+/// later-related descendants of `e`; for `earlier`: attainable
+/// max-timestamps among earlier-related descendants. Empty set = no weak
+/// embedding of q̂_u at v.
+std::set<Timestamp> Achievable(const TemporalGraph& g, const QueryDag& dag,
+                               VertexId u, VertexId v, EdgeId e,
+                               bool later) {
+  const QueryGraph& q = dag.query();
+  if (q.VertexLabel(u) != g.VertexLabel(v)) return {};
+  std::set<Timestamp> acc{later ? kPlusInfinity : kMinusInfinity};
+  for (const EdgeId f : dag.ChildEdges(u)) {
+    const VertexId uc = dag.ChildOf(f);
+    const QueryEdge& qf = q.Edge(f);
+    const bool need_out = qf.u == u;
+    const bool related = later ? q.Precedes(e, f) : q.Precedes(f, e);
+    std::set<Timestamp> branch;
+    for (const AdjEntry& a : g.Adjacency(v)) {
+      if (a.elabel != qf.elabel) continue;
+      if (g.VertexLabel(a.nbr) != q.VertexLabel(uc)) continue;
+      if (g.directed() && a.out != need_out) continue;
+      for (const Timestamp s : Achievable(g, dag, uc, a.nbr, e, later)) {
+        Timestamp val = s;
+        if (related) {
+          val = later ? std::min(val, a.ts) : std::max(val, a.ts);
+        }
+        branch.insert(val);
+      }
+    }
+    if (branch.empty()) return {};
+    // Cross-combine with the accumulator (branches are independent; the
+    // subtree aggregate is the min/max across branches).
+    std::set<Timestamp> next;
+    for (const Timestamp x : acc) {
+      for (const Timestamp y : branch) {
+        next.insert(later ? std::min(x, y) : std::max(x, y));
+      }
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void EnumerateEmbeddings(const TemporalGraph& graph, const QueryGraph& query,
+                         bool check_order, std::vector<Embedding>* out) {
+  EnumCtx ctx;
+  ctx.g = &graph;
+  ctx.q = &query;
+  ctx.check_order = check_order;
+  ctx.order = ConnectedEdgeOrder(query);
+  ctx.vmap.assign(query.NumVertices(), kInvalidVertex);
+  ctx.emap.assign(query.NumEdges(), kInvalidEdge);
+  ctx.ets.assign(query.NumEdges(), 0);
+  ctx.out = out;
+  Recurse(ctx, 0);
+}
+
+Timestamp OracleLater(const TemporalGraph& graph, const QueryDag& dag,
+                      VertexId u, VertexId v, EdgeId e) {
+  const std::set<Timestamp> values =
+      Achievable(graph, dag, u, v, e, /*later=*/true);
+  if (values.empty()) return kMinusInfinity;
+  return *values.rbegin();  // max over weak embeddings
+}
+
+Timestamp OracleEarlier(const TemporalGraph& graph, const QueryDag& dag,
+                        VertexId u, VertexId v, EdgeId e) {
+  const std::set<Timestamp> values =
+      Achievable(graph, dag, u, v, e, /*later=*/false);
+  if (values.empty()) return kPlusInfinity;
+  return *values.begin();  // min over weak embeddings
+}
+
+bool OracleWeak(const TemporalGraph& graph, const QueryDag& dag, VertexId u,
+                VertexId v) {
+  return !Achievable(graph, dag, u, v, /*e=*/0, /*later=*/true).empty();
+}
+
+}  // namespace tcsm

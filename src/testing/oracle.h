@@ -1,0 +1,43 @@
+// Brute-force oracles used by tests and validation benches.
+//
+// * EnumerateEmbeddings: all (time-constrained) embeddings of q in the
+//   current live graph, by naive backtracking — ground truth for engines.
+// * Oracle{Later,Earlier,Weak}: Definition IV.2/IV.3 values computed by
+//   explicitly enumerating homomorphisms of the path tree of q̂_u — an
+//   implementation independent of the incremental index's recurrence.
+#ifndef TCSM_TESTING_ORACLE_H_
+#define TCSM_TESTING_ORACLE_H_
+
+#include <vector>
+
+#include "core/embedding.h"
+#include "dag/query_dag.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+/// Enumerates embeddings of `query` in the live edges of `graph`.
+/// When `check_order` is true only time-constrained embeddings are kept.
+void EnumerateEmbeddings(const TemporalGraph& graph, const QueryGraph& query,
+                         bool check_order, std::vector<Embedding>* out);
+
+/// Max-min timestamp for e of q̂_u at v (Definition IV.3): the largest,
+/// over weak embeddings of q̂_u at v, of the minimum timestamp among images
+/// of later-related temporal descendants of e. -inf when no weak embedding
+/// exists; +inf when none of e's later descendants lie in q̂_u.
+Timestamp OracleLater(const TemporalGraph& graph, const QueryDag& dag,
+                      VertexId u, VertexId v, EdgeId e);
+
+/// Symmetric min-max value over earlier-related descendants (e' ≺ e).
+/// +inf when no weak embedding exists; -inf when no earlier descendants.
+Timestamp OracleEarlier(const TemporalGraph& graph, const QueryDag& dag,
+                        VertexId u, VertexId v, EdgeId e);
+
+/// Whether any weak embedding of q̂_u at v exists.
+bool OracleWeak(const TemporalGraph& graph, const QueryDag& dag, VertexId u,
+                VertexId v);
+
+}  // namespace tcsm
+
+#endif  // TCSM_TESTING_ORACLE_H_

@@ -1,0 +1,89 @@
+// The design-choice ablations (reverse-DAG filtering, best-scoring DAG
+// root) are optimizations only: every configuration must produce exactly
+// the oracle's matches, and the stronger configurations must never keep a
+// larger DCS.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tcm_engine.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+#include "testlib/running_example.h"
+#include "testlib/stream_checker.h"
+
+namespace tcsm {
+namespace {
+
+struct AblationCase {
+  uint64_t seed;
+  bool directed;
+};
+
+class AblationProperty : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AblationProperty, AllConfigurationsMatchOracle) {
+  const AblationCase param = GetParam();
+  SyntheticSpec spec;
+  spec.num_vertices = 14;
+  spec.num_edges = 120;
+  spec.num_vertex_labels = 2;
+  spec.avg_parallel_edges = 2.0;
+  spec.directed = param.directed;
+  spec.seed = param.seed;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+
+  QueryGenOptions opt;
+  opt.num_edges = 4;
+  opt.density = 0.75;
+  opt.window = 40;
+  Rng rng(param.seed + 5);
+  QueryGraph q;
+  if (!GenerateQuery(ds, opt, &rng, &q)) GTEST_SKIP();
+  const GraphSchema schema{ds.directed, ds.vertex_labels};
+
+  for (const bool reverse : {true, false}) {
+    for (const bool best_dag : {true, false}) {
+      TcmConfig config;
+      config.use_reverse_filter = reverse;
+      config.use_best_dag = best_dag;
+      TcmEngine engine(q, schema, config);
+      testlib::CheckEngineAgainstOracle(ds, q, 40, &engine);
+      if (HasFailure()) {
+        ADD_FAILURE() << "reverse=" << reverse << " best_dag=" << best_dag;
+        return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AblationProperty,
+                         ::testing::Values(AblationCase{51, false},
+                                           AblationCase{52, true},
+                                           AblationCase{53, false},
+                                           AblationCase{54, true}));
+
+TEST(Ablation, ReverseFilterNeverEnlargesDcs) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const TemporalDataset ds = testlib::RunningExampleDataset();
+
+  TcmConfig both;
+  TcmConfig fwd_only;
+  fwd_only.use_reverse_filter = false;
+  TcmEngine with(q, testlib::RunningExampleSchema(), both);
+  TcmEngine without(q, testlib::RunningExampleSchema(), fwd_only);
+  for (const TemporalEdge& e : ds.edges) {
+    with.OnEdgeArrival(e);
+    without.OnEdgeArrival(e);
+    ASSERT_LE(with.dcs().stats().num_edges, without.dcs().stats().num_edges);
+  }
+}
+
+TEST(Ablation, BestDagScoresAtLeastFixedRoot) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag best = QueryDag::BuildBestDag(q);
+  const QueryDag fixed = QueryDag::BuildDagGreedy(q, 0);
+  EXPECT_GE(best.score(), fixed.score());
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/automorphism.h"
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+QueryGraph Triangle(bool ordered) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  const EdgeId c = q.AddEdge(2, 0);
+  if (ordered) {
+    TCSM_CHECK(q.AddOrder(a, b).ok());
+    TCSM_CHECK(q.AddOrder(b, c).ok());
+  }
+  return q;
+}
+
+TEST(Automorphism, UnorderedTriangleHasFullSymmetry) {
+  const auto autos = ComputeAutomorphisms(Triangle(false));
+  EXPECT_EQ(autos.size(), 6u);  // S3
+}
+
+TEST(Automorphism, TotalOrderKillsSymmetry) {
+  const auto autos = ComputeAutomorphisms(Triangle(true));
+  EXPECT_EQ(autos.size(), 1u);  // identity only
+  // Identity maps everything to itself.
+  for (VertexId u = 0; u < 3; ++u) EXPECT_EQ(autos[0].vertex_map[u], u);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(autos[0].edge_map[e], e);
+}
+
+TEST(Automorphism, LabelsBreakSymmetry) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);  // distinct label
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 0);
+  EXPECT_EQ(ComputeAutomorphisms(q).size(), 2u);  // swap the two 0-labels
+}
+
+TEST(Automorphism, DirectionBreaksReflection) {
+  QueryGraph q(/*directed=*/true);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 0);
+  // A directed 3-cycle keeps rotations but loses reflections.
+  EXPECT_EQ(ComputeAutomorphisms(q).size(), 3u);
+}
+
+TEST(Automorphism, StarQueryZombiesInterchangeable) {
+  QueryGraph q(/*directed=*/true);
+  const VertexId attacker = q.AddVertex(0);
+  const VertexId victim = q.AddVertex(1);
+  for (int i = 0; i < 3; ++i) {
+    const VertexId z = q.AddVertex(2);
+    const EdgeId cmd = q.AddEdge(attacker, z);
+    const EdgeId atk = q.AddEdge(z, victim);
+    TCSM_CHECK(q.AddOrder(cmd, atk).ok());
+  }
+  EXPECT_EQ(ComputeAutomorphisms(q).size(), 6u);  // 3! zombie permutations
+}
+
+TEST(CanonicalSink, CollapsesZombiePermutations) {
+  // Two interchangeable zombies: each attack instance yields 2 mappings;
+  // the canonical sink must forward exactly one.
+  QueryGraph q(/*directed=*/true);
+  const VertexId attacker = q.AddVertex(0);
+  const VertexId victim = q.AddVertex(0);
+  const VertexId z1 = q.AddVertex(0);
+  const VertexId z2 = q.AddVertex(0);
+  const EdgeId c1 = q.AddEdge(attacker, z1);
+  const EdgeId a1 = q.AddEdge(z1, victim);
+  const EdgeId c2 = q.AddEdge(attacker, z2);
+  const EdgeId a2 = q.AddEdge(z2, victim);
+  ASSERT_TRUE(q.AddOrder(c1, a1).ok());
+  ASSERT_TRUE(q.AddOrder(c2, a2).ok());
+
+  TemporalDataset ds;
+  ds.directed = true;
+  ds.vertex_labels.assign(6, 0);
+  auto add = [&](VertexId s, VertexId d, Timestamp t) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(ds.edges.size());
+    e.src = s;
+    e.dst = d;
+    e.ts = t;
+    ds.edges.push_back(e);
+  };
+  add(0, 2, 1);
+  add(0, 3, 2);
+  add(2, 1, 3);
+  add(3, 1, 4);
+
+  CollectingSink inner;
+  CanonicalSink canonical(q, &inner);
+  EXPECT_EQ(canonical.GroupSize(), 2u);
+
+  TcmEngine engine(q, GraphSchema{true, ds.vertex_labels});
+  engine.set_sink(&canonical);
+  StreamConfig config;
+  config.window = 100;
+  const StreamResult res = RunStream(ds, config, &engine);
+  ASSERT_TRUE(res.completed);
+  // Engine counters see both mappings; the inner sink sees one instance
+  // occurring and one expiring.
+  EXPECT_EQ(res.occurred, 2u);
+  size_t occurred = 0;
+  size_t expired = 0;
+  for (const auto& [emb, kind] : inner.matches()) {
+    (kind == MatchKind::kOccurred ? occurred : expired) += 1;
+  }
+  EXPECT_EQ(occurred, 1u);
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(CanonicalSink, IdentityGroupForwardsEverything) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  // Distinct vertex labels: only the identity automorphism.
+  CollectingSink inner;
+  CanonicalSink canonical(q, &inner);
+  EXPECT_EQ(canonical.GroupSize(), 1u);
+
+  TcmEngine engine(q, testlib::RunningExampleSchema());
+  engine.set_sink(&canonical);
+  StreamConfig config;
+  config.window = 10;
+  const StreamResult res =
+      RunStream(testlib::RunningExampleDataset(), config, &engine);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(inner.matches().size(), res.occurred + res.expired);
+}
+
+}  // namespace
+}  // namespace tcsm

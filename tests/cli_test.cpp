@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/commands.h"
+
+namespace tcsm::cli {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Cli, GenDataStatsRoundTrip) {
+  const std::string edges = TmpPath("cli_data.edges");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGenData({"random", edges, "--vertices=50", "--edges=400",
+                        "--vlabels=3", "--seed=5"},
+                       out),
+            0)
+      << out.str();
+  EXPECT_NE(out.str().find("wrote 400 edges"), std::string::npos);
+
+  std::ostringstream stats;
+  ASSERT_EQ(CmdStats({edges, "--labels=" + edges + ".labels"}, stats), 0);
+  EXPECT_NE(stats.str().find("400"), std::string::npos);
+  std::remove(edges.c_str());
+  std::remove((edges + ".labels").c_str());
+}
+
+TEST(Cli, GenDataPresets) {
+  const std::string edges = TmpPath("cli_preset.edges");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGenData({"lsbench", edges, "--scale=0.05"}, out), 0);
+  std::ostringstream bad;
+  EXPECT_NE(CmdGenData({"not-a-preset", edges}, bad), 0);
+  EXPECT_NE(bad.str().find("unknown preset"), std::string::npos);
+  std::remove(edges.c_str());
+  std::remove((edges + ".labels").c_str());
+}
+
+TEST(Cli, FullPipelineRunAndSnapshot) {
+  const std::string edges = TmpPath("cli_pipe.edges");
+  const std::string query = TmpPath("cli_pipe.query");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGenData({"random", edges, "--vertices=40", "--edges=500",
+                        "--vlabels=2", "--parallel=2", "--seed=9"},
+                       out),
+            0);
+  const std::string labels = "--labels=" + edges + ".labels";
+  std::ostringstream qout;
+  ASSERT_EQ(CmdGenQuery({edges, query, "--size=3", "--density=1",
+                         "--window=200", "--seed=4", labels},
+                        qout),
+            0)
+      << qout.str();
+
+  std::ostringstream run;
+  ASSERT_EQ(CmdRun({edges, query, "--window=200", labels}, run), 0)
+      << run.str();
+  EXPECT_NE(run.str().find("engine=TCM"), std::string::npos);
+  EXPECT_NE(run.str().find("occurred="), std::string::npos);
+
+  // All engines accept the same pipeline.
+  for (const std::string engine : {"timing", "symbi", "local"}) {
+    std::ostringstream eout;
+    ASSERT_EQ(CmdRun({edges, query, "--window=200", labels,
+                      "--engine=" + engine},
+                     eout),
+              0)
+        << engine << ": " << eout.str();
+  }
+
+  std::ostringstream snap;
+  ASSERT_EQ(CmdSnapshot({edges, query, labels}, snap), 0);
+  EXPECT_NE(snap.str().find("matches"), std::string::npos);
+
+  std::remove(edges.c_str());
+  std::remove((edges + ".labels").c_str());
+  std::remove(query.c_str());
+}
+
+TEST(Cli, RunPrintsMatches) {
+  const std::string edges = TmpPath("cli_print.edges");
+  const std::string query = TmpPath("cli_print.query");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGenData({"random", edges, "--vertices=10", "--edges=60",
+                        "--seed=3"},
+                       out),
+            0);
+  const std::string labels = "--labels=" + edges + ".labels";
+  ASSERT_EQ(CmdGenQuery({edges, query, "--size=2", "--density=0",
+                         "--window=30", labels},
+                        out),
+            0);
+  std::ostringstream run;
+  ASSERT_EQ(CmdRun({edges, query, "--window=30", labels, "--print"}, run),
+            0);
+  EXPECT_NE(run.str().find("u0:"), std::string::npos);
+  std::remove(edges.c_str());
+  std::remove((edges + ".labels").c_str());
+  std::remove(query.c_str());
+}
+
+TEST(Cli, UsageAndErrors) {
+  std::ostringstream out;
+  EXPECT_EQ(CmdStats({}, out), 2);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+  std::ostringstream out2;
+  EXPECT_EQ(CmdRun({"a"}, out2), 2);  // missing query + window
+  std::ostringstream out3;
+  EXPECT_NE(CmdStats({"/no/such/file"}, out3), 0);
+  EXPECT_NE(out3.str().find("error"), std::string::npos);
+}
+
+TEST(Cli, MainDispatch) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const char* argv0[] = {"tcsm"};
+  EXPECT_EQ(Main(1, const_cast<char**>(argv0), out, err), 2);
+  EXPECT_NE(err.str().find("subcommands"), std::string::npos);
+
+  const char* argv1[] = {"tcsm", "frobnicate"};
+  std::ostringstream err2;
+  EXPECT_EQ(Main(2, const_cast<char**>(argv1), out, err2), 2);
+}
+
+
+TEST(Cli, CanonicalFlagReported) {
+  const std::string edges = TmpPath("cli_canon.edges");
+  const std::string query = TmpPath("cli_canon.query");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGenData({"random", edges, "--vertices=30", "--edges=300",
+                        "--seed=8"},
+                       out),
+            0);
+  const std::string labels = "--labels=" + edges + ".labels";
+  ASSERT_EQ(CmdGenQuery({edges, query, "--size=3", "--density=0",
+                         "--window=100", labels},
+                        out),
+            0);
+  std::ostringstream run;
+  ASSERT_EQ(
+      CmdRun({edges, query, "--window=100", labels, "--canonical"}, run), 0);
+  EXPECT_NE(run.str().find("automorphism group size"), std::string::npos);
+  std::remove(edges.c_str());
+  std::remove((edges + ".labels").c_str());
+  std::remove(query.c_str());
+}
+
+}  // namespace
+}  // namespace tcsm::cli

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/query_dag.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::kE1;
+using testlib::kE2;
+using testlib::kE3;
+using testlib::kE4;
+using testlib::kE5;
+using testlib::kE6;
+using testlib::kU1;
+using testlib::kU2;
+using testlib::kU3;
+using testlib::kU4;
+using testlib::kU5;
+
+// Example IV.2: building the DAG of Fig. 3a from root u1 selects
+// u1, u3, u2, u4, u5 and the final score is 5 (= 2 + 1 + 2).
+TEST(QueryDag, RunningExampleGreedyTrace) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  EXPECT_EQ(dag.score(), 5);
+  EXPECT_EQ(dag.TopoOrder(),
+            (std::vector<VertexId>{kU1, kU3, kU2, kU4, kU5}));
+  // Orientations of Fig. 3a.
+  EXPECT_EQ(dag.ParentOf(kE1), kU1);
+  EXPECT_EQ(dag.ChildOf(kE1), kU2);
+  EXPECT_EQ(dag.ParentOf(kE2), kU1);
+  EXPECT_EQ(dag.ChildOf(kE2), kU3);
+  EXPECT_EQ(dag.ParentOf(kE3), kU2);
+  EXPECT_EQ(dag.ChildOf(kE3), kU4);
+  EXPECT_EQ(dag.ParentOf(kE4), kU3);
+  EXPECT_EQ(dag.ChildOf(kE4), kU4);
+  EXPECT_EQ(dag.ParentOf(kE5), kU4);
+  EXPECT_EQ(dag.ChildOf(kE5), kU5);
+  EXPECT_EQ(dag.ParentOf(kE6), kU3);
+  EXPECT_EQ(dag.ChildOf(kE6), kU5);
+}
+
+TEST(QueryDag, RunningExampleMasks) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  // Sub-DAG of u3 contains eps4, eps5, eps6 (Definition II.5).
+  EXPECT_EQ(dag.SubDagEdges(kU3), Bit(kE4) | Bit(kE5) | Bit(kE6));
+  // Sub-DAG of an edge: q̂_eps2 = {eps2} ∪ q̂_u3.
+  EXPECT_EQ(dag.SubDagEdges(kU4), Bit(kE5));
+  // eps2 is an ancestor of eps4, eps5, eps6; all are temporally related
+  // (with the closure e2 < e5), so they are temporal descendants.
+  EXPECT_EQ(dag.LaterDescendants(kE2), Bit(kE4) | Bit(kE5) | Bit(kE6));
+  EXPECT_EQ(dag.EarlierDescendants(kE2), 0u);
+  EXPECT_EQ(dag.LaterDescendants(kE1), Bit(kE3) | Bit(kE5));
+  // All 5 order pairs are realized as temporal ancestor-descendant pairs.
+  EXPECT_EQ(dag.CountTemporalPairs(), 5u);
+}
+
+TEST(QueryDag, TrackedSetsAtU3) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  // eps2 ends at u3 and has later descendants below u3 -> tracked there.
+  EXPECT_GE(dag.SlotLater(kU3, kE2), 0);
+  // eps1 ends at u2, not an ancestor of u3 -> not tracked at u3.
+  EXPECT_LT(dag.SlotLater(kU3, kE1), 0);
+  // At u4: eps1 (ends at u2, an ancestor of u4) has later descendant eps5.
+  EXPECT_GE(dag.SlotLater(kU4, kE1), 0);
+  // eps5 tracked nowhere as "later" (it has no later-related successors).
+  for (VertexId u = 0; u < 5; ++u) EXPECT_LT(dag.SlotLater(u, kE5), 0);
+  // eps5's earlier-related edges are all above it -> no earlier tracking.
+  for (VertexId u = 0; u < 5; ++u) EXPECT_LT(dag.SlotEarlier(u, kE5), 0);
+}
+
+TEST(QueryDag, BestDagPicksMaxScore) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag best = QueryDag::BuildBestDag(q);
+  for (VertexId r = 0; r < q.NumVertices(); ++r) {
+    EXPECT_GE(best.score(), QueryDag::BuildDagGreedy(q, r).score());
+  }
+}
+
+TEST(QueryDag, ReversedFlipsEverything) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  const QueryDag rev = dag.Reversed();
+  for (EdgeId e = 0; e < q.NumEdges(); ++e) {
+    EXPECT_EQ(rev.ParentOf(e), dag.ChildOf(e));
+    EXPECT_EQ(rev.ChildOf(e), dag.ParentOf(e));
+  }
+  // In the reverse DAG, descendants of eps5 = edges above u4 in q̂.
+  EXPECT_EQ(rev.SubDagEdges(kU4),
+            Bit(kE3) | Bit(kE4) | Bit(kE1) | Bit(kE2));
+  // eps5 (child endpoint u4 in q̂⁻¹) has earlier-related descendants
+  // eps1 and eps2 there.
+  EXPECT_EQ(rev.EarlierDescendants(kE5), Bit(kE1) | Bit(kE2));
+  EXPECT_GE(rev.SlotEarlier(kU4, kE5), 0);
+}
+
+TEST(QueryDag, TopoConsistentWithOrientation) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random connected query.
+    QueryGraph q;
+    const size_t n = 3 + rng.NextBounded(5);
+    for (size_t i = 0; i < n; ++i) q.AddVertex(
+        static_cast<Label>(rng.NextBounded(2)));
+    for (size_t i = 1; i < n; ++i) {
+      q.AddEdge(static_cast<VertexId>(rng.NextBounded(i)),
+                static_cast<VertexId>(i));
+    }
+    // A few extra edges.
+    for (int k = 0; k < 3; ++k) {
+      const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+      if (a != b && q.FindEdge(a, b) == kInvalidEdge) q.AddEdge(a, b);
+    }
+    const QueryDag dag = QueryDag::BuildBestDag(q);
+    for (EdgeId e = 0; e < q.NumEdges(); ++e) {
+      EXPECT_LT(dag.TopoPos(dag.ParentOf(e)), dag.TopoPos(dag.ChildOf(e)));
+    }
+    // Single root for the forward DAG.
+    size_t roots = 0;
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      if (dag.ParentEdges(u).empty()) ++roots;
+    }
+    EXPECT_EQ(roots, 1u);
+    EXPECT_EQ(dag.TopoOrder().front(), dag.root());
+  }
+}
+
+TEST(QueryDag, SingleEdgeQuery) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddEdge(0, 1);
+  const QueryDag dag = QueryDag::BuildBestDag(q);
+  EXPECT_EQ(dag.score(), 0);
+  EXPECT_EQ(dag.CountTemporalPairs(), 0u);
+  EXPECT_TRUE(dag.TrackedLater(dag.ChildOf(0)).empty());
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "datasets/presets.h"
+#include "datasets/synthetic.h"
+
+namespace tcsm {
+namespace {
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticSpec spec;
+  spec.num_vertices = 50;
+  spec.num_edges = 500;
+  spec.seed = 77;
+  const TemporalDataset a = GenerateSynthetic(spec);
+  const TemporalDataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].src, b.edges[i].src);
+    EXPECT_EQ(a.edges[i].dst, b.edges[i].dst);
+    EXPECT_EQ(a.edges[i].ts, b.edges[i].ts);
+    EXPECT_EQ(a.edges[i].label, b.edges[i].label);
+  }
+  EXPECT_EQ(a.vertex_labels, b.vertex_labels);
+
+  spec.seed = 78;
+  const TemporalDataset c = GenerateSynthetic(spec);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.edges.size() && i < c.edges.size(); ++i) {
+    any_diff = any_diff || a.edges[i].src != c.edges[i].src;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, ShapeTargetsRoughlyMet) {
+  SyntheticSpec spec;
+  spec.num_vertices = 500;
+  spec.num_edges = 10000;
+  spec.num_vertex_labels = 4;
+  spec.num_edge_labels = 3;
+  spec.avg_parallel_edges = 3.0;
+  spec.seed = 5;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  const DatasetStats s = ds.ComputeStats();
+  EXPECT_EQ(s.num_edges, 10000u);
+  EXPECT_EQ(s.num_vertices, 500u);
+  EXPECT_LE(s.num_vertex_labels, 4u);
+  EXPECT_LE(s.num_edge_labels, 3u);
+  EXPECT_NEAR(s.avg_parallel_edges, 3.0, 1.2);
+}
+
+TEST(Synthetic, RankedTimestampsAndNoSelfLoops) {
+  SyntheticSpec spec;
+  spec.num_vertices = 40;
+  spec.num_edges = 400;
+  spec.seed = 9;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  for (size_t i = 0; i < ds.edges.size(); ++i) {
+    EXPECT_EQ(ds.edges[i].ts, static_cast<Timestamp>(i + 1));
+    EXPECT_EQ(ds.edges[i].id, i);
+    EXPECT_NE(ds.edges[i].src, ds.edges[i].dst);
+    EXPECT_LT(ds.edges[i].src, spec.num_vertices);
+    EXPECT_LT(ds.edges[i].dst, spec.num_vertices);
+  }
+}
+
+TEST(Synthetic, DirectedFlagPropagates) {
+  SyntheticSpec spec;
+  spec.directed = true;
+  spec.num_edges = 100;
+  spec.num_vertices = 20;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  EXPECT_TRUE(ds.directed);
+}
+
+TEST(Presets, AllSixExistWithTableIIIShapes) {
+  for (const std::string& name : PresetNames()) {
+    const TemporalDataset ds = MakePreset(name, /*scale=*/0.1);
+    EXPECT_GT(ds.NumEdges(), 0u) << name;
+    EXPECT_GT(ds.NumVertices(), 0u) << name;
+    EXPECT_EQ(ds.name, name);
+  }
+  // Signature spot checks at default scale.
+  const DatasetStats netflow = MakePreset("netflow").ComputeStats();
+  EXPECT_EQ(netflow.num_vertex_labels, 1u);
+  EXPECT_GT(netflow.num_edge_labels, 100u);
+  EXPECT_GT(netflow.avg_parallel_edges, 10.0);
+
+  const DatasetStats lsbench = MakePreset("lsbench").ComputeStats();
+  EXPECT_NEAR(lsbench.avg_parallel_edges, 1.0, 0.05);
+  EXPECT_LT(lsbench.avg_degree, 8.0);
+
+  const DatasetStats wikitalk = MakePreset("wikitalk").ComputeStats();
+  EXPECT_GT(wikitalk.num_vertex_labels, 20u);
+  EXPECT_EQ(wikitalk.num_edge_labels, 1u);
+}
+
+TEST(Presets, ScaleShrinksCounts) {
+  const TemporalDataset big = MakePreset("superuser", 1.0);
+  const TemporalDataset small = MakePreset("superuser", 0.25);
+  EXPECT_GT(big.NumEdges(), small.NumEdges());
+  EXPECT_GT(big.NumVertices(), small.NumVertices());
+}
+
+TEST(Presets, UnknownNameDies) {
+  EXPECT_DEATH(MakePreset("nope"), "unknown preset");
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dag/query_dag.h"
+#include "filter/maxmin_index.h"
+#include "graph/temporal_graph.h"
+#include "testing/oracle.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::kE1;
+using testlib::kE2;
+using testlib::kE4;
+using testlib::kE5;
+using testlib::kE6;
+using testlib::kU3;
+using testlib::kU4;
+using testlib::kU5;
+using testlib::kV1;
+using testlib::kV4;
+using testlib::kV5;
+using testlib::kV7;
+
+// Example IV.3: T[u3, v4, eps2] = 10 on the full graph of Figure 2a.
+TEST(MaxMinIndex, RunningExampleValueFullGraph) {
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  MaxMinIndex index(&g, &dag);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), 10);
+  EXPECT_EQ(OracleLater(g, dag, kU3, kV4, kE2), 10);
+}
+
+// Example IV.4: before sigma_14 arrives T[u3, v4, eps2] = 7; the arrival
+// updates it to 10, which makes eps2 TC-matchable to sigma_8 but not to
+// sigma_12.
+TEST(MaxMinIndex, RunningExampleIncrementalInsertion) {
+  TemporalGraph g = testlib::RunningExampleGraph(13);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  MaxMinIndex index(&g, &dag);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), 7);
+
+  const TemporalEdge sigma8 = g.Edge(7);
+  const TemporalEdge sigma12 = g.Edge(11);
+  EXPECT_FALSE(index.CheckMatchable(kE2, sigma8, false));  // 8 < 7 fails
+
+  const EdgeId id = g.InsertEdge(kV4, kV7, 14);  // sigma_14
+  std::vector<UvPair> touched;
+  index.OnEdgeInserted(g.Edge(id), &touched);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), 10);
+  EXPECT_TRUE(index.CheckMatchable(kE2, sigma8, false));
+  EXPECT_FALSE(index.CheckMatchable(kE2, sigma12, false));  // 12 !< 10
+
+  // The gate of (u3, v4) changed, so it must be among the touched pairs.
+  bool found = false;
+  for (const UvPair& uv : touched) {
+    found = found || (uv.u == kU3 && uv.v == kV4);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MaxMinIndex, RemovalRestoresOldValue) {
+  TemporalGraph g = testlib::RunningExampleGraph(13);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  MaxMinIndex index(&g, &dag);
+  ASSERT_EQ(index.Later(kU3, kV4, kE2), 7);
+  const EdgeId id = g.InsertEdge(kV4, kV7, 14);
+  std::vector<UvPair> touched;
+  index.OnEdgeInserted(g.Edge(id), &touched);
+  ASSERT_EQ(index.Later(kU3, kV4, kE2), 10);
+  const TemporalEdge copy = g.Edge(id);
+  g.RemoveEdge(id);
+  touched.clear();
+  index.OnEdgeRemoved(copy, &touched);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), 7);
+}
+
+TEST(MaxMinIndex, WeakExistence) {
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  MaxMinIndex index(&g, &dag);
+  // u5 is a leaf: weak embedding exists at any label-4 vertex.
+  EXPECT_TRUE(index.Weak(kU5, kV7));
+  // u4 (label 3) at v5 has the child edge eps5 -> (v5, v7) edges exist.
+  EXPECT_TRUE(index.Weak(kU4, kV5));
+  // Label mismatch: u3 (label 2) at v1 (label 0).
+  EXPECT_FALSE(index.Weak(kU3, kV1));
+  EXPECT_EQ(index.Later(kU3, kV1, kE2), kMinusInfinity);
+}
+
+TEST(MaxMinIndex, UntrackedEdgeUsesWeakBit) {
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  MaxMinIndex index(&g, &dag);
+  // eps5 has no later-related descendants anywhere.
+  EXPECT_EQ(index.Later(kU5, kV7, kE5), kPlusInfinity);
+  EXPECT_EQ(index.Earlier(kU5, kV7, kE5), kMinusInfinity);
+}
+
+// The reversed DAG checks temporal *ancestors*: eps5's earlier-related
+// edges (eps1, eps2) become descendants in q̂⁻¹.
+TEST(MaxMinIndex, ReversedDagEarlierValues) {
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, testlib::kU1);
+  const QueryDag rev = dag.Reversed();
+  MaxMinIndex index(&g, &rev);
+  const Timestamp got = index.Earlier(kU4, kV5, kE5);
+  EXPECT_EQ(got, OracleEarlier(g, rev, kU4, kV5, kE5));
+  // sigma_9 = (v5, v7, 9): needs ancestors eps1, eps2 with ts < 9 — the
+  // reverse-DAG min-max at (u4, v5) must allow it.
+  const TemporalEdge sigma9 = g.Edge(8);
+  EXPECT_TRUE(index.CheckMatchable(kE5, sigma9, false) ||
+              index.CheckMatchable(kE5, sigma9, true));
+}
+
+struct FilterPropertyCase {
+  uint64_t seed;
+};
+
+class FilterProperty : public ::testing::TestWithParam<FilterPropertyCase> {};
+
+// Randomized equivalence: after every insertion/FIFO expiration, the
+// incrementally maintained index must agree with (a) a freshly built index
+// over the same graph and (b) the explicit path-tree-homomorphism oracle.
+TEST_P(FilterProperty, IncrementalEqualsFreshAndOracle) {
+  Rng rng(GetParam().seed);
+  const bool directed = rng.NextBool(0.5);
+  const size_t num_labels = 1 + rng.NextBounded(2);
+
+  // Random connected query with 3-5 vertices and some temporal order.
+  QueryGraph q(directed);
+  const size_t nq = 3 + rng.NextBounded(3);
+  for (size_t i = 0; i < nq; ++i) {
+    q.AddVertex(static_cast<Label>(rng.NextBounded(num_labels)));
+  }
+  for (size_t i = 1; i < nq; ++i) {
+    q.AddEdge(static_cast<VertexId>(rng.NextBounded(i)),
+              static_cast<VertexId>(i));
+  }
+  for (int k = 0; k < 2; ++k) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(nq));
+    const VertexId b = static_cast<VertexId>(rng.NextBounded(nq));
+    if (a != b && q.FindEdge(a, b) == kInvalidEdge) q.AddEdge(a, b);
+  }
+  for (int k = 0; k < 4; ++k) {
+    const EdgeId a = static_cast<EdgeId>(rng.NextBounded(q.NumEdges()));
+    const EdgeId b = static_cast<EdgeId>(rng.NextBounded(q.NumEdges()));
+    if (a != b) (void)q.AddOrder(a, b);  // cycles rejected internally
+  }
+
+  const QueryDag dag = QueryDag::BuildBestDag(q);
+  const QueryDag rev = dag.Reversed();
+
+  const size_t nv = 6;
+  TemporalGraph g(directed);
+  for (size_t i = 0; i < nv; ++i) {
+    g.AddVertex(static_cast<Label>(rng.NextBounded(num_labels)));
+  }
+  MaxMinIndex inc_fwd(&g, &dag);
+  MaxMinIndex inc_rev(&g, &rev);
+
+  auto check_all = [&](const char* when) {
+    MaxMinIndex fresh_fwd(&g, &dag);
+    MaxMinIndex fresh_rev(&g, &rev);
+    for (VertexId u = 0; u < q.NumVertices(); ++u) {
+      for (VertexId v = 0; v < nv; ++v) {
+        ASSERT_EQ(inc_fwd.Weak(u, v), fresh_fwd.Weak(u, v))
+            << when << " weak fwd u=" << u << " v=" << v;
+        ASSERT_EQ(inc_rev.Weak(u, v), fresh_rev.Weak(u, v))
+            << when << " weak rev u=" << u << " v=" << v;
+        ASSERT_EQ(inc_fwd.Weak(u, v), OracleWeak(g, dag, u, v))
+            << when << " weak oracle u=" << u << " v=" << v;
+        for (EdgeId e = 0; e < q.NumEdges(); ++e) {
+          ASSERT_EQ(inc_fwd.Later(u, v, e), fresh_fwd.Later(u, v, e))
+              << when << " later fwd u=" << u << " v=" << v << " e=" << e;
+          ASSERT_EQ(inc_fwd.Earlier(u, v, e), fresh_fwd.Earlier(u, v, e))
+              << when << " earlier fwd";
+          ASSERT_EQ(inc_rev.Later(u, v, e), fresh_rev.Later(u, v, e))
+              << when << " later rev";
+          ASSERT_EQ(inc_rev.Earlier(u, v, e), fresh_rev.Earlier(u, v, e))
+              << when << " earlier rev";
+          // The oracle evaluates Definition IV.3 for arbitrary (u, e);
+          // the index only maintains the slots it is ever queried on
+          // (e ending at u or an ancestor of u) — compare those.
+          if (dag.SlotLater(u, e) >= 0) {
+            ASSERT_EQ(inc_fwd.Later(u, v, e), OracleLater(g, dag, u, v, e))
+                << when << " later oracle u=" << u << " v=" << v
+                << " e=" << e;
+          }
+          if (dag.SlotEarlier(u, e) >= 0) {
+            ASSERT_EQ(inc_fwd.Earlier(u, v, e),
+                      OracleEarlier(g, dag, u, v, e))
+                << when << " earlier oracle";
+          }
+          if (rev.SlotLater(u, e) >= 0) {
+            ASSERT_EQ(inc_rev.Later(u, v, e), OracleLater(g, rev, u, v, e))
+                << when << " later rev oracle";
+          }
+          if (rev.SlotEarlier(u, e) >= 0) {
+            ASSERT_EQ(inc_rev.Earlier(u, v, e),
+                      OracleEarlier(g, rev, u, v, e))
+                << when << " earlier rev oracle";
+          }
+        }
+      }
+    }
+  };
+
+  const Timestamp window = 12;
+  std::vector<EdgeId> live;
+  size_t expire_next = 0;
+  std::vector<TemporalEdge> inserted;
+  for (Timestamp t = 1; t <= 36; ++t) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(nv));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(nv));
+    if (a == b) b = (b + 1) % nv;
+    // FIFO expirations first.
+    while (expire_next < inserted.size() &&
+           inserted[expire_next].ts + window <= t) {
+      const TemporalEdge copy = inserted[expire_next];
+      g.RemoveEdge(copy.id);
+      std::vector<UvPair> touched;
+      inc_fwd.OnEdgeRemoved(copy, &touched);
+      touched.clear();
+      inc_rev.OnEdgeRemoved(copy, &touched);
+      ++expire_next;
+    }
+    const Label elabel = static_cast<Label>(rng.NextBounded(2));
+    const EdgeId id = g.InsertEdge(a, b, t, elabel);
+    inserted.push_back(g.Edge(id));
+    std::vector<UvPair> touched;
+    inc_fwd.OnEdgeInserted(g.Edge(id), &touched);
+    touched.clear();
+    inc_rev.OnEdgeInserted(g.Edge(id), &touched);
+    if (t % 6 == 0) {
+      check_all("mid-stream");
+      if (HasFailure()) return;
+    }
+  }
+  check_all("final");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterProperty,
+                         ::testing::Values(FilterPropertyCase{1},
+                                           FilterPropertyCase{2},
+                                           FilterPropertyCase{3},
+                                           FilterPropertyCase{4},
+                                           FilterPropertyCase{5},
+                                           FilterPropertyCase{6},
+                                           FilterPropertyCase{7},
+                                           FilterPropertyCase{8}));
+
+}  // namespace
+}  // namespace tcsm

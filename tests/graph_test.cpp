@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+TEST(TemporalGraph, InsertAndAdjacency) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(1);
+  const VertexId c = g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdge(a, b, 1, 7);
+  const EdgeId e1 = g.InsertEdge(b, c, 2);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumAliveEdges(), 2u);
+  EXPECT_EQ(g.Edge(e0).label, 7u);
+  EXPECT_EQ(g.Degree(b), 2u);
+  EXPECT_EQ(g.Adjacency(b)[0].nbr, a);
+  EXPECT_EQ(g.Adjacency(b)[0].edge, e0);
+  EXPECT_FALSE(g.Adjacency(b)[0].out);  // edge a->b enters b
+  EXPECT_TRUE(g.Adjacency(b)[1].out);
+  EXPECT_EQ(g.Adjacency(b)[1].edge, e1);
+}
+
+TEST(TemporalGraph, ParallelEdgesKeepChronologicalOrder) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  for (Timestamp t = 1; t <= 5; ++t) g.InsertEdge(a, b, t);
+  ASSERT_EQ(g.Degree(a), 5u);
+  for (size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_LT(g.Adjacency(a)[i].ts, g.Adjacency(a)[i + 1].ts);
+  }
+}
+
+TEST(TemporalGraph, FifoRemovalIsConstantPathAndCorrect) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  std::vector<EdgeId> ids;
+  for (Timestamp t = 1; t <= 4; ++t) ids.push_back(g.InsertEdge(a, b, t));
+  g.RemoveEdge(ids[0]);
+  EXPECT_FALSE(g.Alive(ids[0]));
+  EXPECT_EQ(g.NumAliveEdges(), 3u);
+  EXPECT_EQ(g.Adjacency(a).front().edge, ids[1]);
+  EXPECT_EQ(g.Adjacency(b).front().edge, ids[1]);
+}
+
+TEST(TemporalGraph, OutOfOrderRemovalFallsBackToScan) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  const VertexId c = g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdge(a, b, 1);
+  const EdgeId e1 = g.InsertEdge(a, c, 2);
+  const EdgeId e2 = g.InsertEdge(a, b, 3);
+  g.RemoveEdge(e1);  // middle of a's adjacency
+  EXPECT_EQ(g.Degree(a), 2u);
+  EXPECT_EQ(g.Adjacency(a)[0].edge, e0);
+  EXPECT_EQ(g.Adjacency(a)[1].edge, e2);
+  EXPECT_EQ(g.Degree(c), 0u);
+}
+
+TEST(TemporalGraph, DirectedFlagsOnEntries) {
+  TemporalGraph g(/*directed=*/true);
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  g.InsertEdge(a, b, 1);
+  EXPECT_TRUE(g.directed());
+  EXPECT_TRUE(g.Adjacency(a)[0].out);
+  EXPECT_FALSE(g.Adjacency(b)[0].out);
+}
+
+TEST(TemporalGraph, ClearEdgesKeepsVertices) {
+  TemporalGraph g = testlib::RunningExampleGraph();
+  EXPECT_EQ(g.NumAliveEdges(), 14u);
+  g.ClearEdges();
+  EXPECT_EQ(g.NumAliveEdges(), 0u);
+  EXPECT_EQ(g.NumVertices(), 7u);
+  EXPECT_EQ(g.Degree(testlib::kV4), 0u);
+}
+
+TEST(TemporalGraph, MemoryEstimateGrowsWithEdges) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const size_t empty = g.EstimateMemoryBytes();
+  for (Timestamp t = 1; t <= 100; ++t) g.InsertEdge(0, 1, t);
+  EXPECT_GT(g.EstimateMemoryBytes(), empty);
+}
+
+TEST(TemporalDataset, StatsMatchRunningExample) {
+  const TemporalDataset ds = testlib::RunningExampleDataset();
+  const DatasetStats s = ds.ComputeStats();
+  EXPECT_EQ(s.num_vertices, 7u);
+  EXPECT_EQ(s.num_edges, 14u);
+  EXPECT_EQ(s.num_edge_labels, 1u);
+  // 6 distinct adjacent pairs: (v1,v2),(v4,v5),(v1,v4),(v4,v7),(v5,v7),(v2,v5)
+  EXPECT_NEAR(s.avg_parallel_edges, 14.0 / 6.0, 1e-9);
+  EXPECT_EQ(s.min_ts, 1);
+  EXPECT_EQ(s.max_ts, 14);
+  EXPECT_NEAR(s.window_unit, 1.0, 1e-9);
+}
+
+TEST(TemporalDataset, RankTimestampsProducesDenseRanks) {
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 0};
+  for (const Timestamp t : {100, 7, 55, 7}) {
+    TemporalEdge e;
+    e.src = 0;
+    e.dst = 1;
+    e.ts = t;
+    ds.edges.push_back(e);
+  }
+  ds.RankTimestamps();
+  ASSERT_EQ(ds.edges.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ds.edges[i].ts, static_cast<Timestamp>(i + 1));
+    EXPECT_EQ(ds.edges[i].id, i);
+  }
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/multi_engine.h"
+#include "core/stream_driver.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+class TaggingCollector : public MultiMatchSink {
+ public:
+  void OnMatch(size_t query_index, const Embedding&, MatchKind kind,
+               uint64_t multiplicity) override {
+    if (kind == MatchKind::kOccurred) occurred[query_index] += multiplicity;
+  }
+  std::map<size_t, uint64_t> occurred;
+};
+
+QueryGraph SingleEdgeQuery(Label a, Label b) {
+  QueryGraph q;
+  q.AddVertex(a);
+  q.AddVertex(b);
+  q.AddEdge(0, 1);
+  return q;
+}
+
+TEST(MultiQueryEngine, FansOutToAllQueries) {
+  // Query 0: the running-example pattern; queries 1/2: single edges with
+  // specific endpoint labels.
+  std::vector<QueryGraph> queries;
+  queries.push_back(testlib::RunningExampleQuery());
+  queries.push_back(SingleEdgeQuery(0, 1));  // v1--v2 edges: s1, s6
+  queries.push_back(SingleEdgeQuery(2, 3));  // v4--v5: s2, s3, s13
+
+  MultiQueryEngine engine(queries, testlib::RunningExampleSchema());
+  TaggingCollector sink;
+  engine.set_multi_sink(&sink);
+  StreamConfig config;
+  config.window = 1000;
+  const StreamResult res =
+      RunStream(testlib::RunningExampleDataset(), config, &engine);
+  ASSERT_TRUE(res.completed);
+
+  EXPECT_EQ(sink.occurred[0], 16u);
+  EXPECT_EQ(sink.occurred[1], 2u);
+  EXPECT_EQ(sink.occurred[2], 3u);
+  EXPECT_EQ(res.occurred, 16u + 2u + 3u);  // aggregated counters
+  EXPECT_EQ(engine.NumQueries(), 3u);
+  EXPECT_EQ(engine.QueryCounters(1).occurred, 2u);
+}
+
+TEST(MultiQueryEngine, MatchesSingleEngineResults) {
+  std::vector<QueryGraph> queries{testlib::RunningExampleQuery(),
+                                  testlib::RunningExampleQuery()};
+  MultiQueryEngine multi(queries, testlib::RunningExampleSchema());
+  TaggingCollector sink;
+  multi.set_multi_sink(&sink);
+  StreamConfig config;
+  config.window = 10;
+  const StreamResult res =
+      RunStream(testlib::RunningExampleDataset(), config, &multi);
+  ASSERT_TRUE(res.completed);
+  // Duplicated query: both instances see the same 6 windowed matches.
+  EXPECT_EQ(sink.occurred[0], 6u);
+  EXPECT_EQ(sink.occurred[1], 6u);
+}
+
+TEST(MultiQueryEngine, MemoryAggregates) {
+  std::vector<QueryGraph> one{testlib::RunningExampleQuery()};
+  std::vector<QueryGraph> three{testlib::RunningExampleQuery(),
+                                testlib::RunningExampleQuery(),
+                                testlib::RunningExampleQuery()};
+  MultiQueryEngine small(one, testlib::RunningExampleSchema());
+  MultiQueryEngine big(three, testlib::RunningExampleSchema());
+  EXPECT_LT(small.EstimateMemoryBytes(), big.EstimateMemoryBytes());
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "dag/query_dag.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+#include "testing/oracle.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+TEST(Oracle, SingleEdgeQueryCountsParallelEdges) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  for (Timestamp t = 1; t <= 3; ++t) g.InsertEdge(0, 1, t);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+
+  std::vector<Embedding> out;
+  EnumerateEmbeddings(g, q, true, &out);
+  // Same endpoint labels: each parallel edge maps in both orientations.
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(Oracle, LabelsRestrictOrientation) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  for (Timestamp t = 1; t <= 3; ++t) g.InsertEdge(0, 1, t);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddEdge(0, 1);
+
+  std::vector<Embedding> out;
+  EnumerateEmbeddings(g, q, true, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Oracle, DirectionRestrictsMatches) {
+  TemporalGraph g(/*directed=*/true);
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.InsertEdge(0, 1, 1);
+  g.InsertEdge(1, 0, 2);
+
+  QueryGraph q(/*directed=*/true);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+
+  std::vector<Embedding> out;
+  EnumerateEmbeddings(g, q, true, &out);
+  EXPECT_EQ(out.size(), 2u);  // each directed edge gives one mapping
+
+  // A directed 2-cycle query needs both directions between the same pair.
+  QueryGraph cyc(/*directed=*/true);
+  cyc.AddVertex(0);
+  cyc.AddVertex(0);
+  cyc.AddEdge(0, 1);
+  cyc.AddEdge(1, 0);
+  out.clear();
+  EnumerateEmbeddings(g, cyc, true, &out);
+  EXPECT_EQ(out.size(), 2u);  // (e0->a, e1->b) and the swapped roles
+}
+
+TEST(Oracle, TemporalOrderFilters) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.InsertEdge(0, 1, 5);
+  g.InsertEdge(1, 2, 3);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  std::vector<Embedding> out;
+  EnumerateEmbeddings(g, q, true, &out);
+  EXPECT_EQ(out.size(), 1u);  // structure forces the single mapping
+
+  ASSERT_TRUE(q.AddOrder(a, b).ok());  // requires ts(a) < ts(b): 5 < 3 fails
+  out.clear();
+  EnumerateEmbeddings(g, q, true, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  EnumerateEmbeddings(g, q, false, &out);  // without the order it matches
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Oracle, EdgeInjectivityOnParallelEdges) {
+  // Triangle query u0-u1-u2-u0 where two query edges could share the only
+  // data edge if injectivity were ignored.
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.InsertEdge(0, 1, 1);
+  g.InsertEdge(1, 2, 2);
+  g.InsertEdge(2, 0, 3);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 0);
+  std::vector<Embedding> out;
+  EnumerateEmbeddings(g, q, true, &out);
+  EXPECT_EQ(out.size(), 6u);  // 3 rotations x 2 reflections
+}
+
+TEST(Oracle, RunningExampleCounts) {
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  std::vector<Embedding> tc;
+  EnumerateEmbeddings(g, q, true, &tc);
+  EXPECT_EQ(tc.size(), 16u);
+
+  // The two embeddings named in Example II.1 are among them.
+  Embedding m1;
+  m1.vertices = {testlib::kV1, testlib::kV2, testlib::kV4, testlib::kV5,
+                 testlib::kV7};
+  m1.edges = {0, 7, 10, 12, 9, 13};  // s1, s8, s11, s13, s10, s14
+  Embedding m2 = m1;
+  m2.edges[0] = 5;  // s6 instead of s1
+  EXPECT_NE(std::find(tc.begin(), tc.end(), m1), tc.end());
+  EXPECT_NE(std::find(tc.begin(), tc.end(), m2), tc.end());
+
+  // The non-time-constrained mapping of Example II.1 is an embedding but
+  // must not appear in the time-constrained set.
+  Embedding bad = m1;
+  bad.edges = {0, 3, 10, 1, 8, 4};  // s1, s4, s11, s2, s9, s5
+  std::vector<Embedding> plain;
+  EnumerateEmbeddings(g, q, false, &plain);
+  EXPECT_NE(std::find(plain.begin(), plain.end(), bad), plain.end());
+  EXPECT_EQ(std::find(tc.begin(), tc.end(), bad), tc.end());
+}
+
+TEST(Oracle, AchievableValuesOnChain) {
+  // Chain query u0 -e0- u1 -e1- u2 with e0 < e1; data has two parallel
+  // choices for e1 with timestamps 5 and 9.
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.InsertEdge(0, 1, 3);
+  g.InsertEdge(1, 2, 5);
+  g.InsertEdge(1, 2, 9);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  const EdgeId e0 = q.AddEdge(0, 1);
+  const EdgeId e1 = q.AddEdge(1, 2);
+  ASSERT_TRUE(q.AddOrder(e0, e1).ok());
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, 0);
+  ASSERT_EQ(dag.ChildOf(e0), 1u);
+  // Max-min for e0 at (u1, v1): best weak embedding picks ts 9.
+  EXPECT_EQ(OracleLater(g, dag, 1, 1, e0), 9);
+  // No weak embedding of q̂_u1 at v0 (label mismatch).
+  EXPECT_EQ(OracleLater(g, dag, 1, 0, e0), kMinusInfinity);
+  EXPECT_TRUE(OracleWeak(g, dag, 1, 1));
+  EXPECT_FALSE(OracleWeak(g, dag, 1, 2));
+}
+
+TEST(Oracle, EarlierValuesOnReversedChain) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.InsertEdge(0, 1, 3);
+  g.InsertEdge(0, 1, 7);
+  g.InsertEdge(1, 2, 5);
+
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  const EdgeId e0 = q.AddEdge(0, 1);
+  const EdgeId e1 = q.AddEdge(1, 2);
+  ASSERT_TRUE(q.AddOrder(e0, e1).ok());
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, 0);
+  const QueryDag rev = dag.Reversed();
+  // In q̂⁻¹, e0 is a descendant of e1; min-max for e1 at (u1, v1) picks
+  // the smaller parallel edge: 3.
+  EXPECT_EQ(OracleEarlier(g, rev, 1, 1, e1), 3);
+}
+
+}  // namespace
+}  // namespace tcsm

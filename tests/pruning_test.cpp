@@ -1,0 +1,207 @@
+// Soundness of the three time-constrained pruning techniques (Section V):
+// every combination of pruning flags must produce exactly the same set of
+// occurred/expired embeddings.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+#include "testlib/running_example.h"
+#include "testlib/stream_checker.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::EmbeddingSet;
+
+EmbeddingSet RunAndCollect(const QueryGraph& q, const TemporalDataset& ds,
+                           Timestamp window, const TcmConfig& config,
+                           uint64_t* occurred_count) {
+  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels}, config);
+  CollectingSink sink;
+  engine.set_sink(&sink);
+  StreamConfig stream;
+  stream.window = window;
+  const StreamResult res = RunStream(ds, stream, &engine);
+  EXPECT_TRUE(res.completed);
+  *occurred_count = res.occurred;
+  EmbeddingSet occurred;
+  for (const auto& [emb, kind] : sink.matches()) {
+    if (kind == MatchKind::kOccurred) {
+      EXPECT_TRUE(occurred.insert(emb).second) << "duplicate occurred match";
+    }
+  }
+  return occurred;
+}
+
+TEST(Pruning, AllFlagCombinationsAgreeOnRunningExample) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const TemporalDataset ds = testlib::RunningExampleDataset();
+  uint64_t base_count = 0;
+  const EmbeddingSet base =
+      RunAndCollect(q, ds, 10, TcmConfig{}, &base_count);
+  EXPECT_EQ(base.size(), base_count);
+  for (int bits = 0; bits < 8; ++bits) {
+    TcmConfig config;
+    config.prune_no_relation = bits & 1;
+    config.prune_uniform = bits & 2;
+    config.prune_failing_set = bits & 4;
+    uint64_t count = 0;
+    const EmbeddingSet got = RunAndCollect(q, ds, 10, config, &count);
+    EXPECT_EQ(got, base) << "flag combo " << bits;
+    EXPECT_EQ(count, base_count) << "flag combo " << bits;
+  }
+}
+
+struct PruningCase {
+  uint64_t seed;
+  size_t query_edges;
+  double density;
+};
+
+class PruningProperty : public ::testing::TestWithParam<PruningCase> {};
+
+TEST_P(PruningProperty, FlagCombinationsAgreeOnSyntheticStreams) {
+  const PruningCase param = GetParam();
+  SyntheticSpec spec;
+  spec.num_vertices = 24;
+  spec.num_edges = 240;
+  spec.num_vertex_labels = 3;
+  spec.avg_parallel_edges = 2.5;
+  spec.seed = param.seed;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+
+  QueryGenOptions opt;
+  opt.num_edges = param.query_edges;
+  opt.density = param.density;
+  opt.window = 60;
+  Rng rng(param.seed * 7 + 1);
+  QueryGraph q;
+  if (!GenerateQuery(ds, opt, &rng, &q)) {
+    GTEST_SKIP() << "no query of requested size in this dataset";
+  }
+
+  uint64_t base_count = 0;
+  const EmbeddingSet base =
+      RunAndCollect(q, ds, 60, TcmConfig{}, &base_count);
+  for (int bits = 0; bits < 8; ++bits) {
+    TcmConfig config;
+    config.prune_no_relation = bits & 1;
+    config.prune_uniform = bits & 2;
+    config.prune_failing_set = bits & 4;
+    uint64_t count = 0;
+    const EmbeddingSet got = RunAndCollect(q, ds, 60, config, &count);
+    ASSERT_EQ(got, base) << "seed " << param.seed << " flags " << bits;
+    ASSERT_EQ(count, base_count);
+  }
+  // The no-filter configuration must also agree (filtering is only an
+  // optimization, never changes results).
+  TcmConfig no_filter;
+  no_filter.use_tc_filter = false;
+  uint64_t count = 0;
+  EXPECT_EQ(RunAndCollect(q, ds, 60, no_filter, &count), base);
+  EXPECT_EQ(count, base_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PruningProperty,
+    ::testing::Values(PruningCase{21, 3, 0.0}, PruningCase{22, 3, 1.0},
+                      PruningCase{23, 4, 0.5}, PruningCase{24, 4, 0.0},
+                      PruningCase{25, 5, 0.5}, PruningCase{26, 5, 1.0},
+                      PruningCase{27, 6, 0.25}, PruningCase{28, 6, 0.75}));
+
+// Pruning technique 1 specifically: a query edge with no temporal
+// relations over many parallel candidates must report one embedding per
+// candidate, whether expanded explicitly or via multiplicity.
+TEST(Pruning, FreeGroupExpansionCountsParallelEdges) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  ASSERT_TRUE(q.AddOrder(a, b).ok());
+  q.AddVertex(3);
+  q.AddEdge(2, 3);  // unconstrained edge -> free group over parallels
+
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 1, 2, 3};
+  auto add = [&](VertexId s, VertexId d, Timestamp t) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(ds.edges.size());
+    e.src = s;
+    e.dst = d;
+    e.ts = t;
+    ds.edges.push_back(e);
+  };
+  add(0, 1, 1);
+  add(1, 2, 2);
+  for (Timestamp t = 3; t <= 7; ++t) add(2, 3, t);  // 5 parallel edges
+
+  StreamConfig stream;
+  stream.window = 100;
+
+  TcmEngine counting_engine(q, GraphSchema{false, ds.vertex_labels});
+  CountingSink counting;
+  counting_engine.set_sink(&counting);
+  const StreamResult r1 = RunStream(ds, stream, &counting_engine);
+
+  TcmEngine collecting_engine(q, GraphSchema{false, ds.vertex_labels});
+  CollectingSink collecting;
+  collecting_engine.set_sink(&collecting);
+  const StreamResult r2 = RunStream(ds, stream, &collecting_engine);
+
+  ASSERT_TRUE(r1.completed && r2.completed);
+  EXPECT_EQ(r1.occurred, 5u);
+  EXPECT_EQ(r2.occurred, 5u);
+  // All five expanded embeddings are distinct.
+  EmbeddingSet distinct;
+  for (const auto& [emb, kind] : collecting.matches()) {
+    if (kind == MatchKind::kOccurred) distinct.insert(emb);
+  }
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+// Search-node counters: pruning must never visit more nodes than the
+// unpruned search on the same stream.
+TEST(Pruning, PrunedSearchVisitsNoMoreNodes) {
+  SyntheticSpec spec;
+  spec.num_vertices = 20;
+  spec.num_edges = 300;
+  spec.num_vertex_labels = 2;
+  spec.avg_parallel_edges = 3.0;
+  spec.seed = 99;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  QueryGenOptions opt;
+  opt.num_edges = 5;
+  opt.density = 0.75;
+  opt.window = 80;
+  Rng rng(5);
+  QueryGraph q;
+  if (!GenerateQuery(ds, opt, &rng, &q)) GTEST_SKIP();
+
+  StreamConfig stream;
+  stream.window = 80;
+  TcmEngine pruned(q, GraphSchema{false, ds.vertex_labels});
+  CountingSink s1;
+  pruned.set_sink(&s1);
+  RunStream(ds, stream, &pruned);
+
+  TcmConfig off;
+  off.prune_no_relation = off.prune_uniform = off.prune_failing_set = false;
+  TcmEngine unpruned(q, GraphSchema{false, ds.vertex_labels}, off);
+  CountingSink s2;
+  unpruned.set_sink(&s2);
+  RunStream(ds, stream, &unpruned);
+
+  EXPECT_LE(pruned.counters().search_nodes, unpruned.counters().search_nodes);
+  EXPECT_EQ(s1.occurred(), s2.occurred());
+  EXPECT_EQ(s1.expired(), s2.expired());
+}
+
+}  // namespace
+}  // namespace tcsm

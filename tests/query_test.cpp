@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::kE1;
+using testlib::kE2;
+using testlib::kE3;
+using testlib::kE4;
+using testlib::kE5;
+using testlib::kE6;
+
+TEST(QueryGraph, BasicConstruction) {
+  QueryGraph q;
+  const VertexId a = q.AddVertex(3);
+  const VertexId b = q.AddVertex(4);
+  const EdgeId e = q.AddEdge(a, b, 9);
+  EXPECT_EQ(q.NumVertices(), 2u);
+  EXPECT_EQ(q.NumEdges(), 1u);
+  EXPECT_EQ(q.VertexLabel(a), 3u);
+  EXPECT_EQ(q.Edge(e).elabel, 9u);
+  EXPECT_EQ(q.FindEdge(a, b), e);
+  EXPECT_EQ(q.FindEdge(b, a), e);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryGraph, RunningExampleOrder) {
+  QueryGraph q = testlib::RunningExampleQuery();
+  // e1<e3, e1<e5, e2<e4, e2<e5, e2<e6 (already closed).
+  EXPECT_TRUE(q.Precedes(kE2, kE5));
+  EXPECT_TRUE(q.Precedes(kE2, kE4));
+  EXPECT_FALSE(q.Precedes(kE4, kE5));
+  EXPECT_FALSE(q.Precedes(kE5, kE2));
+  EXPECT_FALSE(q.Precedes(kE3, kE5));
+  EXPECT_EQ(q.NumOrderPairs(), 5u);
+}
+
+TEST(QueryGraph, DeclaredVsClosedMasks) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  const EdgeId c = q.AddEdge(2, 3);
+  EXPECT_TRUE(q.AddOrder(a, b).ok());
+  EXPECT_TRUE(q.AddOrder(b, c).ok());
+  // Closure adds a<c; declared masks do not contain it.
+  EXPECT_TRUE(q.Precedes(a, c));
+  EXPECT_TRUE(HasBit(q.After(a), c));
+  EXPECT_FALSE(HasBit(q.DeclaredAfter(a), c));
+  EXPECT_TRUE(HasBit(q.DeclaredAfter(a), b));
+}
+
+TEST(QueryGraph, OrderRejectsCycles) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  const EdgeId c = q.AddEdge(0, 2);
+  EXPECT_TRUE(q.AddOrder(a, b).ok());
+  EXPECT_TRUE(q.AddOrder(b, c).ok());
+  EXPECT_FALSE(q.AddOrder(c, a).ok());  // would close a cycle
+  EXPECT_FALSE(q.AddOrder(a, a).ok());  // irreflexive
+  EXPECT_TRUE(q.Precedes(a, c));        // transitivity held
+}
+
+TEST(QueryGraph, AddOrderIdempotentAndImplied) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  const EdgeId c = q.AddEdge(0, 2);
+  EXPECT_TRUE(q.AddOrder(a, b).ok());
+  EXPECT_TRUE(q.AddOrder(b, c).ok());
+  EXPECT_TRUE(q.AddOrder(a, c).ok());  // already implied; still legal
+  EXPECT_EQ(q.NumOrderPairs(), 3u);
+}
+
+TEST(QueryGraph, DensityValues) {
+  QueryGraph q = testlib::RunningExampleQuery();
+  // 5 pairs over C(6,2)=15.
+  EXPECT_NEAR(q.OrderDensity(), 5.0 / 15.0, 1e-9);
+
+  QueryGraph empty_order;
+  empty_order.AddVertex(0);
+  empty_order.AddVertex(0);
+  empty_order.AddEdge(0, 1);
+  EXPECT_EQ(empty_order.OrderDensity(), 0.0);
+}
+
+TEST(QueryGraph, TotalOrderDensityIsOne) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId a = q.AddEdge(0, 1);
+  const EdgeId b = q.AddEdge(1, 2);
+  const EdgeId c = q.AddEdge(2, 3);
+  EXPECT_TRUE(q.AddOrder(a, b).ok());
+  EXPECT_TRUE(q.AddOrder(b, c).ok());
+  EXPECT_NEAR(q.OrderDensity(), 1.0, 1e-9);
+}
+
+TEST(QueryGraph, ValidateDetectsDisconnected) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddEdge(0, 1);
+  q.AddEdge(2, 3);
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryGraph, IncidentEdges) {
+  QueryGraph q = testlib::RunningExampleQuery();
+  EXPECT_EQ(q.Degree(testlib::kU4), 3u);  // e3, e4, e5
+  const auto& inc = q.IncidentEdges(testlib::kU4);
+  EXPECT_NE(std::find(inc.begin(), inc.end(), kE3), inc.end());
+  EXPECT_NE(std::find(inc.begin(), inc.end(), kE4), inc.end());
+  EXPECT_NE(std::find(inc.begin(), inc.end(), kE5), inc.end());
+}
+
+TEST(QueryGraph, RelatedMasks) {
+  QueryGraph q = testlib::RunningExampleQuery();
+  EXPECT_EQ(q.Related(kE5), Bit(kE1) | Bit(kE2));
+  EXPECT_EQ(q.Before(kE5), Bit(kE1) | Bit(kE2));
+  EXPECT_EQ(q.After(kE5), 0u);
+  EXPECT_EQ(q.After(kE2), Bit(kE4) | Bit(kE5) | Bit(kE6));
+}
+
+TEST(QueryGraph, ToStringMentionsStructure) {
+  QueryGraph q = testlib::RunningExampleQuery();
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("|V|=5"), std::string::npos);
+  EXPECT_NE(s.find("|E|=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcsm

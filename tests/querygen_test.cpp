@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "datasets/presets.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+
+namespace tcsm {
+namespace {
+
+TemporalDataset SmallDataset(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_vertices = 60;
+  spec.num_edges = 900;
+  spec.num_vertex_labels = 3;
+  spec.avg_parallel_edges = 2.0;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+TEST(QueryGen, ProducesRequestedSizeAndValidity) {
+  const TemporalDataset ds = SmallDataset(1);
+  Rng rng(42);
+  for (const size_t m : {3u, 5u, 7u, 9u}) {
+    QueryGenOptions opt;
+    opt.num_edges = m;
+    opt.density = 0.5;
+    QueryGraph q;
+    ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q)) << "m=" << m;
+    EXPECT_EQ(q.NumEdges(), m);
+    EXPECT_TRUE(q.Validate().ok());
+    // Labels must come from the data graph's label set.
+    for (VertexId v = 0; v < q.NumVertices(); ++v) {
+      EXPECT_LT(q.VertexLabel(v), 3u);
+    }
+  }
+}
+
+TEST(QueryGen, DensityEndpointsExact) {
+  const TemporalDataset ds = SmallDataset(2);
+  Rng rng(7);
+  QueryGenOptions opt;
+  opt.num_edges = 6;
+  opt.density = 0.0;
+  QueryGraph q0;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q0));
+  EXPECT_EQ(q0.NumOrderPairs(), 0u);
+
+  opt.density = 1.0;
+  QueryGraph q1;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q1));
+  EXPECT_NEAR(q1.OrderDensity(), 1.0, 1e-9);
+}
+
+TEST(QueryGen, IntermediateDensityClose) {
+  const TemporalDataset ds = SmallDataset(3);
+  Rng rng(11);
+  for (const double d : {0.25, 0.5, 0.75}) {
+    QueryGenOptions opt;
+    opt.num_edges = 8;
+    opt.density = d;
+    QueryGraph q;
+    ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+    // Transitive closure can overshoot; the paper itself only asks for
+    // "densities close to" the target.
+    EXPECT_GE(q.OrderDensity(), d - 0.05);
+    EXPECT_LE(q.OrderDensity(), d + 0.3);
+  }
+}
+
+TEST(QueryGen, TotalOrderConsistentWithWitnessTimestamps) {
+  const TemporalDataset ds = SmallDataset(4);
+  Rng rng(13);
+  QueryGenOptions opt;
+  opt.num_edges = 5;
+  opt.density = 1.0;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+  // A total order on 5 edges: exactly C(5,2) pairs, no cycles by
+  // construction (witness timestamps are distinct ranks).
+  EXPECT_EQ(q.NumOrderPairs(), 10u);
+}
+
+TEST(QueryGen, WitnessEmbeddingOccursInStream) {
+  // With window-confined walks, streaming the dataset with that window
+  // must produce at least one match (the witness).
+  const TemporalDataset ds = SmallDataset(5);
+  Rng rng(17);
+  QueryGenOptions opt;
+  opt.num_edges = 4;
+  opt.density = 1.0;
+  opt.window = 150;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+
+  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels});
+  CountingSink sink;
+  engine.set_sink(&sink);
+  StreamConfig config;
+  config.window = 150;
+  const StreamResult res = RunStream(ds, config, &engine);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.occurred, 0u);
+}
+
+TEST(QueryGen, DirectedQueriesFollowDataDirection) {
+  SyntheticSpec spec;
+  spec.num_vertices = 40;
+  spec.num_edges = 600;
+  spec.directed = true;
+  spec.seed = 6;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  Rng rng(19);
+  QueryGenOptions opt;
+  opt.num_edges = 4;
+  opt.density = 0.5;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+  EXPECT_TRUE(q.directed());
+}
+
+TEST(QueryGen, QuerySetSkipsFailures) {
+  // An impossible size on a tiny dataset yields an empty set, not a crash.
+  TemporalDataset tiny;
+  tiny.vertex_labels = {0, 0};
+  TemporalEdge e;
+  e.id = 0;
+  e.src = 0;
+  e.dst = 1;
+  e.ts = 1;
+  tiny.edges.push_back(e);
+  QueryGenOptions opt;
+  opt.num_edges = 5;
+  opt.max_attempts = 3;
+  const auto set = GenerateQuerySet(tiny, opt, 4, 1);
+  EXPECT_TRUE(set.empty());
+
+  const TemporalDataset ds = SmallDataset(7);
+  QueryGenOptions ok;
+  ok.num_edges = 4;
+  const auto set2 = GenerateQuerySet(ds, ok, 5, 2);
+  EXPECT_EQ(set2.size(), 5u);
+}
+
+TEST(QueryGen, WorksOnAllPresets) {
+  for (const std::string& name : PresetNames()) {
+    const TemporalDataset ds = MakePreset(name, 0.2);
+    QueryGenOptions opt;
+    opt.num_edges = 5;
+    opt.density = 0.5;
+    opt.window = static_cast<Timestamp>(ds.NumEdges() / 2);
+    Rng rng(23);
+    QueryGraph q;
+    EXPECT_TRUE(GenerateQuery(ds, opt, &rng, &q)) << name;
+  }
+}
+
+
+TEST(QueryGen, FamilySharesTopologyAcrossDensities) {
+  const TemporalDataset ds = SmallDataset(8);
+  Rng rng(29);
+  QueryGenOptions opt;
+  opt.num_edges = 6;
+  std::vector<QueryGraph> family;
+  ASSERT_TRUE(GenerateQueryWithOrders(ds, opt, {0.0, 0.25, 0.5, 0.75, 1.0},
+                                      &rng, &family));
+  ASSERT_EQ(family.size(), 5u);
+  // Identical topology: same vertices, labels, and edges everywhere.
+  for (size_t d = 1; d < family.size(); ++d) {
+    ASSERT_EQ(family[d].NumVertices(), family[0].NumVertices());
+    ASSERT_EQ(family[d].NumEdges(), family[0].NumEdges());
+    for (VertexId v = 0; v < family[0].NumVertices(); ++v) {
+      EXPECT_EQ(family[d].VertexLabel(v), family[0].VertexLabel(v));
+    }
+    for (EdgeId e = 0; e < family[0].NumEdges(); ++e) {
+      EXPECT_EQ(family[d].Edge(e).u, family[0].Edge(e).u);
+      EXPECT_EQ(family[d].Edge(e).v, family[0].Edge(e).v);
+      EXPECT_EQ(family[d].Edge(e).elabel, family[0].Edge(e).elabel);
+    }
+  }
+  // Orders hit the endpoints exactly and grow monotonically-ish.
+  EXPECT_EQ(family[0].NumOrderPairs(), 0u);
+  EXPECT_NEAR(family[4].OrderDensity(), 1.0, 1e-9);
+  EXPECT_LE(family[1].NumOrderPairs(), family[3].NumOrderPairs());
+}
+
+TEST(QueryGen, FamilyOrdersConsistentWithOneWitness) {
+  // Every density's order must embed into the same witness (the sorted
+  // walk edges), so a stream containing the walk satisfies all of them.
+  const TemporalDataset ds = SmallDataset(9);
+  Rng rng(31);
+  QueryGenOptions opt;
+  opt.num_edges = 5;
+  opt.window = 200;
+  std::vector<QueryGraph> family;
+  ASSERT_TRUE(
+      GenerateQueryWithOrders(ds, opt, {0.5, 1.0}, &rng, &family));
+  // The total order (density 1) must contain the 0.5 order as a subset.
+  for (EdgeId a = 0; a < family[0].NumEdges(); ++a) {
+    EXPECT_EQ(family[0].After(a) & ~family[1].After(a), 0u)
+        << "density-0.5 pair not in the total order";
+  }
+}
+
+}  // namespace
+}  // namespace tcsm

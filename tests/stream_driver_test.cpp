@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/stream_driver.h"
+#include "core/tcm_engine.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+/// Records the exact event sequence an engine observes.
+class RecordingEngine : public ContinuousEngine {
+ public:
+  struct Event {
+    bool arrival;
+    EdgeId id;
+  };
+
+  std::string name() const override { return "recorder"; }
+  void OnEdgeArrival(const TemporalEdge& ed) override {
+    events.push_back(Event{true, ed.id});
+  }
+  void OnEdgeExpiry(const TemporalEdge& ed) override {
+    events.push_back(Event{false, ed.id});
+  }
+  size_t EstimateMemoryBytes() const override { return 128; }
+
+  std::vector<Event> events;
+};
+
+TemporalDataset ThreeEdges() {
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 0};
+  for (Timestamp t : {1, 5, 11}) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(ds.edges.size());
+    e.src = 0;
+    e.dst = 1;
+    e.ts = t;
+    ds.edges.push_back(e);
+  }
+  return ds;
+}
+
+TEST(StreamDriver, ExpirationsBeforeArrivalsOnTies) {
+  // Window 10: edge@1 expires at 11 — exactly when edge@11 arrives; the
+  // expiration must be delivered first (Example II.2 semantics).
+  RecordingEngine engine;
+  StreamConfig config;
+  config.window = 10;
+  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(engine.events.size(), 6u);
+  EXPECT_TRUE(engine.events[0].arrival);   // +e0 @1
+  EXPECT_TRUE(engine.events[1].arrival);   // +e1 @5
+  EXPECT_FALSE(engine.events[2].arrival);  // -e0 @11 (before the arrival)
+  EXPECT_EQ(engine.events[2].id, 0u);
+  EXPECT_TRUE(engine.events[3].arrival);   // +e2 @11
+  EXPECT_FALSE(engine.events[4].arrival);  // -e1 @15
+  EXPECT_FALSE(engine.events[5].arrival);  // -e2 @21
+}
+
+TEST(StreamDriver, AllEdgesEventuallyExpire) {
+  RecordingEngine engine;
+  StreamConfig config;
+  config.window = 1000;
+  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  EXPECT_EQ(res.events, 6u);
+  size_t arrivals = 0;
+  for (const auto& e : engine.events) arrivals += e.arrival;
+  EXPECT_EQ(arrivals, 3u);
+}
+
+TEST(StreamDriver, MaxArrivalsTruncates) {
+  RecordingEngine engine;
+  StreamConfig config;
+  config.window = 1000;
+  config.max_arrivals = 2;
+  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.events, 4u);  // 2 arrivals + their 2 expirations
+  size_t arrivals = 0;
+  for (const auto& e : engine.events) arrivals += e.arrival;
+  EXPECT_EQ(arrivals, 2u);
+}
+
+TEST(StreamDriver, CountsMatchesFromEngineCounters) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  TcmEngine engine(q, testlib::RunningExampleSchema());
+  StreamConfig config;
+  config.window = 10;
+  // No sink attached: counters must still track matches.
+  const StreamResult res = RunStream(testlib::RunningExampleDataset(),
+                                     config, &engine);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.occurred, 6u);
+  EXPECT_EQ(res.expired, 6u);
+  EXPECT_EQ(engine.counters().occurred, 6u);
+}
+
+TEST(StreamDriver, PeakMemorySampled) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  TcmEngine engine(q, testlib::RunningExampleSchema());
+  StreamConfig config;
+  config.window = 10;
+  config.memory_sample_every = 1;
+  const StreamResult res = RunStream(testlib::RunningExampleDataset(),
+                                     config, &engine);
+  EXPECT_GT(res.peak_memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,123 @@
+// The central correctness property of the whole system: on randomized
+// synthetic streams and generated queries, every engine (TCM in all
+// configurations, SymBi-post, LocalEnum-post, Timing) reports exactly the
+// per-event occurred/expired embedding sets of the brute-force snapshot
+// oracle.
+#include <gtest/gtest.h>
+
+#include "baselines/local_enum_engine.h"
+#include "baselines/post_filter_engine.h"
+#include "baselines/timing_engine.h"
+#include "common/rng.h"
+#include "core/tcm_engine.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+#include "testlib/stream_checker.h"
+
+namespace tcsm {
+namespace {
+
+struct StreamCase {
+  uint64_t seed;
+  bool directed;
+  size_t query_edges;
+  double density;
+  size_t edge_labels;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<StreamCase>& info) {
+  const StreamCase& c = info.param;
+  return "seed" + std::to_string(c.seed) +
+         (c.directed ? "_dir" : "_undir") + "_m" +
+         std::to_string(c.query_edges) + "_d" +
+         std::to_string(static_cast<int>(c.density * 100)) + "_el" +
+         std::to_string(c.edge_labels);
+}
+
+class StreamEquivalence : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamEquivalence, AllEnginesMatchOracle) {
+  const StreamCase param = GetParam();
+  SyntheticSpec spec;
+  spec.num_vertices = 14;
+  spec.num_edges = 130;
+  spec.num_vertex_labels = 3;
+  spec.num_edge_labels = param.edge_labels;
+  spec.avg_parallel_edges = 2.2;
+  spec.directed = param.directed;
+  spec.seed = param.seed;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+
+  QueryGenOptions opt;
+  opt.num_edges = param.query_edges;
+  opt.density = param.density;
+  opt.window = 40;
+  Rng rng(param.seed + 1000);
+  QueryGraph q;
+  if (!GenerateQuery(ds, opt, &rng, &q)) {
+    GTEST_SKIP() << "dataset too sparse for requested query";
+  }
+  const GraphSchema schema{ds.directed, ds.vertex_labels};
+  const Timestamp window = 40;
+
+  uint64_t reference = 0;
+  {
+    TcmEngine engine(q, schema);
+    reference = testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    if (HasFailure()) return;
+  }
+  {
+    TcmConfig config;
+    config.prune_no_relation = false;
+    config.prune_uniform = false;
+    config.prune_failing_set = false;
+    TcmEngine engine(q, schema, config);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+              reference);
+    if (HasFailure()) return;
+  }
+  {
+    TcmConfig config;
+    config.use_tc_filter = false;
+    TcmEngine engine(q, schema, config);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+              reference);
+    if (HasFailure()) return;
+  }
+  {
+    PostFilterEngine engine(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+              reference);
+    if (HasFailure()) return;
+  }
+  {
+    LocalEnumEngine engine(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+              reference);
+    if (HasFailure()) return;
+  }
+  {
+    TimingEngine engine(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+              reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamEquivalence,
+    ::testing::Values(StreamCase{31, false, 3, 0.0, 1},
+                      StreamCase{32, false, 3, 1.0, 1},
+                      StreamCase{33, false, 4, 0.5, 1},
+                      StreamCase{34, true, 3, 0.5, 1},
+                      StreamCase{35, true, 4, 0.25, 1},
+                      StreamCase{36, false, 4, 0.75, 2},
+                      StreamCase{37, true, 4, 1.0, 2},
+                      StreamCase{38, false, 5, 0.5, 1},
+                      StreamCase{39, false, 5, 0.0, 2},
+                      StreamCase{40, true, 5, 0.75, 1},
+                      StreamCase{41, false, 6, 0.25, 1},
+                      StreamCase{42, true, 6, 0.5, 2}),
+    CaseName);
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,110 @@
+// The paper's running example (Figure 2): temporal data graph G with
+// edges sigma_1..sigma_14 (edge sigma_i arrives at time i) and temporal
+// query graph q with edges eps_1..eps_6.
+//
+// Reconstruction notes (all derived from the paper's worked examples):
+//   sigma_1=(v1,v2,1)   sigma_2=(v4,v5,2)   sigma_3=(v4,v5,3)
+//   sigma_4=(v1,v4,4)   sigma_5=(v4,v7,5)   sigma_6=(v1,v2,6)
+//   sigma_7=(v4,v7,7)   sigma_8=(v1,v4,8)   sigma_9=(v5,v7,9)
+//   sigma_10=(v5,v7,10) sigma_11=(v2,v5,11) sigma_12=(v1,v4,12)
+//   sigma_13=(v4,v5,13) sigma_14=(v4,v7,14)
+//   eps_1=(u1,u2) eps_2=(u1,u3) eps_3=(u2,u4) eps_4=(u3,u4)
+//   eps_5=(u4,u5) eps_6=(u3,u5)
+// Order: e1<e3, e1<e5, e2<e4, e2<e5, e2<e6 (already transitively closed).
+// This is the unique relation consistent with Example II.1's embeddings
+// (e4<e5 would violate eps4->sigma13, eps5->sigma10), Example IV.3's
+// min-timestamps 7/9/7/10 (which need e2 ~ e5), and Example IV.2's final
+// DAG score of 5. The greedy DAG from root u1 then has score 5 with
+// topological order u1,u3,u2,u4,u5 — exactly Fig. 3a/4.
+#ifndef TCSM_TESTS_TESTLIB_RUNNING_EXAMPLE_H_
+#define TCSM_TESTS_TESTLIB_RUNNING_EXAMPLE_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "graph/temporal_dataset.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+
+namespace tcsm::testlib {
+
+// Query vertex ids.
+inline constexpr VertexId kU1 = 0, kU2 = 1, kU3 = 2, kU4 = 3, kU5 = 4;
+// Query edge ids.
+inline constexpr EdgeId kE1 = 0, kE2 = 1, kE3 = 2, kE4 = 3, kE5 = 4,
+                        kE6 = 5;
+// Data vertex ids (v1..v7 -> 0..6).
+inline constexpr VertexId kV1 = 0, kV2 = 1, kV3 = 2, kV4 = 3, kV5 = 4,
+                          kV6 = 5, kV7 = 6;
+
+/// Vertex labels: v1:0, v2:1, v4:2, v5:3, v7:4; v3/v6 get private labels.
+inline std::vector<Label> RunningExampleLabels() {
+  return {0, 1, 5, 2, 3, 6, 4};
+}
+
+/// sigma_1..sigma_14 as (src, dst); sigma_i has timestamp i and id i-1.
+inline std::vector<std::pair<VertexId, VertexId>> RunningExampleEdges() {
+  return {{kV1, kV2}, {kV4, kV5}, {kV4, kV5}, {kV1, kV4}, {kV4, kV7},
+          {kV1, kV2}, {kV4, kV7}, {kV1, kV4}, {kV5, kV7}, {kV5, kV7},
+          {kV2, kV5}, {kV1, kV4}, {kV4, kV5}, {kV4, kV7}};
+}
+
+inline QueryGraph RunningExampleQuery() {
+  QueryGraph q(/*directed=*/false);
+  q.AddVertex(0);  // u1
+  q.AddVertex(1);  // u2
+  q.AddVertex(2);  // u3
+  q.AddVertex(3);  // u4
+  q.AddVertex(4);  // u5
+  q.AddEdge(kU1, kU2);  // eps1
+  q.AddEdge(kU1, kU3);  // eps2
+  q.AddEdge(kU2, kU4);  // eps3
+  q.AddEdge(kU3, kU4);  // eps4
+  q.AddEdge(kU4, kU5);  // eps5
+  q.AddEdge(kU3, kU5);  // eps6
+  TCSM_CHECK(q.AddOrder(kE1, kE3).ok());
+  TCSM_CHECK(q.AddOrder(kE1, kE5).ok());
+  TCSM_CHECK(q.AddOrder(kE2, kE4).ok());
+  TCSM_CHECK(q.AddOrder(kE2, kE5).ok());
+  TCSM_CHECK(q.AddOrder(kE2, kE6).ok());
+  return q;
+}
+
+inline TemporalDataset RunningExampleDataset() {
+  TemporalDataset ds;
+  ds.name = "running-example";
+  ds.directed = false;
+  ds.vertex_labels = RunningExampleLabels();
+  const auto edges = RunningExampleEdges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(i);
+    e.src = edges[i].first;
+    e.dst = edges[i].second;
+    e.ts = static_cast<Timestamp>(i + 1);
+    ds.edges.push_back(e);
+  }
+  return ds;
+}
+
+/// A live TemporalGraph holding sigma_1..sigma_<up_to> (1-based).
+inline TemporalGraph RunningExampleGraph(size_t up_to = 14) {
+  TemporalGraph g(/*directed=*/false);
+  for (const Label l : RunningExampleLabels()) g.AddVertex(l);
+  const auto edges = RunningExampleEdges();
+  TCSM_CHECK(up_to <= edges.size());
+  for (size_t i = 0; i < up_to; ++i) {
+    g.InsertEdge(edges[i].first, edges[i].second,
+                 static_cast<Timestamp>(i + 1));
+  }
+  return g;
+}
+
+inline GraphSchema RunningExampleSchema() {
+  return GraphSchema{false, RunningExampleLabels()};
+}
+
+}  // namespace tcsm::testlib
+
+#endif  // TCSM_TESTS_TESTLIB_RUNNING_EXAMPLE_H_

@@ -1,0 +1,109 @@
+// Test harness that replays a dataset event by event through an engine and
+// checks every reported occurred/expired embedding against a brute-force
+// snapshot oracle: after each event the set of time-constrained embeddings
+// of the live graph is enumerated from scratch and diffed against the
+// previous snapshot.
+#ifndef TCSM_TESTS_TESTLIB_STREAM_CHECKER_H_
+#define TCSM_TESTS_TESTLIB_STREAM_CHECKER_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/temporal_dataset.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+#include "testing/oracle.h"
+
+namespace tcsm::testlib {
+
+using EmbeddingSet = std::unordered_set<Embedding, EmbeddingHash>;
+
+inline EmbeddingSet Snapshot(const TemporalGraph& g, const QueryGraph& q) {
+  std::vector<Embedding> embs;
+  EnumerateEmbeddings(g, q, /*check_order=*/true, &embs);
+  EmbeddingSet set(embs.begin(), embs.end());
+  EXPECT_EQ(set.size(), embs.size()) << "oracle produced duplicates";
+  return set;
+}
+
+/// Replays `dataset` with `window` through `engine`, asserting that the
+/// engine's per-event occurred/expired embedding sets equal the oracle's
+/// snapshot diffs. Returns the total number of occurred matches.
+inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
+                                         const QueryGraph& query,
+                                         Timestamp window,
+                                         ContinuousEngine* engine) {
+  CollectingSink sink;
+  engine->set_sink(&sink);
+
+  TemporalGraph mirror(dataset.directed);
+  mirror.EnsureVertices(dataset.vertex_labels.size());
+  for (size_t v = 0; v < dataset.vertex_labels.size(); ++v) {
+    mirror.SetVertexLabel(static_cast<VertexId>(v),
+                          dataset.vertex_labels[v]);
+  }
+  EmbeddingSet current;
+  uint64_t total_occurred = 0;
+
+  size_t arr = 0;
+  size_t exp = 0;
+  const size_t n = dataset.edges.size();
+  size_t reported = 0;  // consumed prefix of sink.matches()
+  while (arr < n || exp < arr) {
+    const bool do_expire =
+        exp < arr && (arr >= n || dataset.edges[exp].ts + window <=
+                                      dataset.edges[arr].ts);
+    EmbeddingSet expect_occurred;
+    EmbeddingSet expect_expired;
+    if (do_expire) {
+      const TemporalEdge& e = dataset.edges[exp];
+      engine->OnEdgeExpiry(e);
+      mirror.RemoveEdge(e.id);
+      const EmbeddingSet next = Snapshot(mirror, query);
+      for (const Embedding& m : current) {
+        if (next.count(m) == 0) expect_expired.insert(m);
+      }
+      current = next;
+      ++exp;
+    } else {
+      const TemporalEdge& e = dataset.edges[arr];
+      engine->OnEdgeArrival(e);
+      mirror.InsertEdge(e.src, e.dst, e.ts, e.label);
+      const EmbeddingSet next = Snapshot(mirror, query);
+      for (const Embedding& m : next) {
+        if (current.count(m) == 0) expect_occurred.insert(m);
+      }
+      current = next;
+      ++arr;
+    }
+    // Drain this event's reports.
+    EmbeddingSet got_occurred;
+    EmbeddingSet got_expired;
+    for (; reported < sink.matches().size(); ++reported) {
+      const auto& [emb, kind] = sink.matches()[reported];
+      const bool inserted = (kind == MatchKind::kOccurred ? got_occurred
+                                                          : got_expired)
+                                .insert(emb)
+                                .second;
+      EXPECT_TRUE(inserted) << "duplicate report from " << engine->name();
+    }
+    EXPECT_EQ(got_occurred, expect_occurred)
+        << engine->name() << ": wrong occurred set at event "
+        << (arr + exp - 1);
+    EXPECT_EQ(got_expired, expect_expired)
+        << engine->name() << ": wrong expired set at event "
+        << (arr + exp - 1);
+    total_occurred += expect_occurred.size();
+    if (::testing::Test::HasFailure()) break;  // stop at first divergence
+  }
+  engine->set_sink(nullptr);
+  return total_occurred;
+}
+
+}  // namespace tcsm::testlib
+
+#endif  // TCSM_TESTS_TESTLIB_STREAM_CHECKER_H_

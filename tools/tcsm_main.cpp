@@ -1,0 +1,8 @@
+// The `tcsm` command-line tool; see src/cli/commands.h for subcommands.
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return tcsm::cli::Main(argc, argv, std::cout, std::cerr);
+}
