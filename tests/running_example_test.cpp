@@ -1,0 +1,169 @@
+// Guards the Figure 2 fixture (tests/testlib/running_example.h) against
+// silent drift by re-deriving the paper's worked values from it:
+//   * Example IV.2 — greedy DAG from root u1 has score 5 and topological
+//     order u1, u3, u2, u4, u5.
+//   * Example IV.3 — the four weak embeddings of q̂_u3 at v4 built from
+//     eps4 -> sigma_13, eps5 in {sigma_9, sigma_10}, eps6 in {sigma_7,
+//     sigma_14} have min-timestamps 7, 9, 7, 10, so T[u3, v4, eps2] = 10.
+//   * Example IV.4 — before sigma_14 arrives, T[u3, v4, eps2] = 7.
+//   * Example II.1 — the full graph holds exactly the 16 time-constrained
+//     embeddings enumerated below, all through v1, v2, v4, v5, v7.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/embedding.h"
+#include "dag/query_dag.h"
+#include "filter/maxmin_index.h"
+#include "testing/oracle.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::kE1;
+using testlib::kE2;
+using testlib::kE3;
+using testlib::kE4;
+using testlib::kE5;
+using testlib::kE6;
+using testlib::kU1;
+using testlib::kU2;
+using testlib::kU3;
+using testlib::kU4;
+using testlib::kU5;
+using testlib::kV1;
+using testlib::kV2;
+using testlib::kV4;
+using testlib::kV5;
+using testlib::kV7;
+
+// Data edge ids: sigma_i has id i-1 and timestamp i.
+constexpr EdgeId Sigma(int i) { return static_cast<EdgeId>(i - 1); }
+
+TEST(RunningExample, FixtureShape) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  EXPECT_EQ(q.NumVertices(), 5u);
+  EXPECT_EQ(q.NumEdges(), 6u);
+  // The declared relation e1<e3, e1<e5, e2<e4, e2<e5, e2<e6 is already
+  // transitively closed: no declared successor has successors of its own.
+  EXPECT_EQ(q.NumOrderPairs(), 5u);
+  EXPECT_EQ(q.After(kE1), Bit(kE3) | Bit(kE5));
+  EXPECT_EQ(q.After(kE2), Bit(kE4) | Bit(kE5) | Bit(kE6));
+  EXPECT_EQ(q.After(kE3), 0u);
+  EXPECT_EQ(q.After(kE4), 0u);
+  EXPECT_EQ(q.After(kE5), 0u);
+  EXPECT_EQ(q.After(kE6), 0u);
+
+  const TemporalGraph g = testlib::RunningExampleGraph(14);
+  EXPECT_EQ(g.NumVertices(), 7u);
+  for (int i = 1; i <= 14; ++i) {
+    EXPECT_EQ(g.Edge(Sigma(i)).ts, static_cast<Timestamp>(i));
+  }
+}
+
+// Example IV.2: score 5 with topological order u1, u3, u2, u4, u5 — and no
+// other root does better, so BuildBestDag lands on the same score.
+TEST(RunningExample, DagScoreIsFive) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  EXPECT_EQ(dag.score(), 5);
+  EXPECT_EQ(dag.TopoOrder(), (std::vector<VertexId>{kU1, kU3, kU2, kU4, kU5}));
+  EXPECT_EQ(QueryDag::BuildBestDag(q).score(), 5);
+}
+
+// Example IV.3: T[u3, v4, eps2] is the max over weak embeddings of q̂_u3 at
+// v4 of the minimum timestamp among the images of eps2's later-related
+// temporal descendants (eps4, eps5, eps6). The paper's four weak
+// embeddings fix eps4 -> sigma_13 and vary eps5 / eps6; their minima are
+// 7, 9, 7, 10 and the maximum, 10, is the stored index value.
+TEST(RunningExample, ExampleIV3MinTimestamps) {
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  // The derivation only makes sense because eps5 is a temporal descendant
+  // of eps2 (the fixture's order must contain e2 < e5).
+  EXPECT_EQ(dag.LaterDescendants(kE2), Bit(kE4) | Bit(kE5) | Bit(kE6));
+
+  TemporalGraph g = testlib::RunningExampleGraph(14);
+  const Timestamp ts4 = g.Edge(Sigma(13)).ts;  // eps4 -> sigma_13
+  std::vector<Timestamp> minima;
+  for (const int s5 : {9, 10}) {      // eps5 -> sigma_9 | sigma_10
+    for (const int s6 : {7, 14}) {    // eps6 -> sigma_7 | sigma_14
+      const Timestamp m = std::min(
+          {ts4, g.Edge(Sigma(s5)).ts, g.Edge(Sigma(s6)).ts});
+      minima.push_back(m);
+    }
+  }
+  EXPECT_EQ(minima, (std::vector<Timestamp>{7, 9, 7, 10}));
+  const Timestamp max_min = *std::max_element(minima.begin(), minima.end());
+  EXPECT_EQ(max_min, 10);
+
+  MaxMinIndex index(&g, &dag);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), max_min);
+  EXPECT_EQ(OracleLater(g, dag, kU3, kV4, kE2), max_min);
+}
+
+// Example IV.4: without sigma_14, the best eps6 image is sigma_7, so every
+// weak-embedding minimum is capped at 7.
+TEST(RunningExample, ExampleIV4BeforeSigma14) {
+  TemporalGraph g = testlib::RunningExampleGraph(13);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  const QueryDag dag = QueryDag::BuildDagGreedy(q, kU1);
+  MaxMinIndex index(&g, &dag);
+  EXPECT_EQ(index.Later(kU3, kV4, kE2), 7);
+  EXPECT_EQ(OracleLater(g, dag, kU3, kV4, kE2), 7);
+}
+
+Embedding MakeEmbedding(EdgeId e1, EdgeId e2, EdgeId e5, EdgeId e6) {
+  Embedding m;
+  m.vertices = {kV1, kV2, kV4, kV5, kV7};           // u1..u5
+  m.edges = {e1, e2, Sigma(11), Sigma(13), e5, e6};  // eps1..eps6
+  return m;
+}
+
+// Example II.1: on the full graph the vertex images are forced by labels
+// (u1->v1, u2->v2, u3->v4, u4->v5, u5->v7), eps3 -> sigma_11 and
+// eps4 -> sigma_13 are forced by the order, and the remaining choices
+// yield exactly 16 time-constrained embeddings.
+TEST(RunningExample, ExampleII1Embeddings) {
+  const TemporalGraph g = testlib::RunningExampleGraph(14);
+  const QueryGraph q = testlib::RunningExampleQuery();
+  std::vector<Embedding> embs;
+  EnumerateEmbeddings(g, q, /*check_order=*/true, &embs);
+
+  std::unordered_set<Embedding, EmbeddingHash> expected;
+  for (const int s1 : {1, 6}) {     // eps1 -> sigma_1 | sigma_6
+    for (const int s5 : {9, 10}) {  // eps5 -> sigma_9 | sigma_10
+      // e2 < e6 leaves (eps2, eps6) in {(4,5), (4,7), (4,14), (8,14)}.
+      for (const auto& [s2, s6] :
+           std::vector<std::pair<int, int>>{{4, 5}, {4, 7}, {4, 14}, {8, 14}}) {
+        expected.insert(
+            MakeEmbedding(Sigma(s1), Sigma(s2), Sigma(s5), Sigma(s6)));
+      }
+    }
+  }
+  ASSERT_EQ(expected.size(), 16u);
+
+  const std::unordered_set<Embedding, EmbeddingHash> got(embs.begin(),
+                                                         embs.end());
+  EXPECT_EQ(got.size(), embs.size()) << "oracle produced duplicates";
+  EXPECT_EQ(got, expected);
+}
+
+// The fixture's header argues the order cannot contain e4 < e5: that pair
+// would wipe out all of Example II.1's embeddings (eps4 -> sigma_13 at
+// time 13 can never precede eps5 -> sigma_9/sigma_10, and the e2 < e4
+// chain rules out the earlier (v4, v5) edges).
+TEST(RunningExample, OrderE4E5WouldKillAllEmbeddings) {
+  const TemporalGraph g = testlib::RunningExampleGraph(14);
+  QueryGraph q = testlib::RunningExampleQuery();
+  ASSERT_TRUE(q.AddOrder(kE4, kE5).ok());
+  std::vector<Embedding> embs;
+  EnumerateEmbeddings(g, q, /*check_order=*/true, &embs);
+  EXPECT_TRUE(embs.empty());
+}
+
+}  // namespace
+}  // namespace tcsm

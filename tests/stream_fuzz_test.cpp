@@ -1,0 +1,145 @@
+// Randomized differential stream fuzzer: every scenario of the catalogue
+// (tests/testlib/fuzz_scenarios.h) is replayed through TCM under all 2^3
+// pruning-flag ablations, the filter ablations, and the three baseline
+// engines, asserting after every event that the reported occurred/expired
+// embedding sets equal the brute-force snapshot oracle's diff
+// (tests/testlib/stream_checker.h). Any divergence reproduces from the
+// scenario name, which encodes the seed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/local_enum_engine.h"
+#include "baselines/post_filter_engine.h"
+#include "baselines/timing_engine.h"
+#include "common/rng.h"
+#include "core/tcm_engine.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+#include "testlib/fuzz_scenarios.h"
+#include "testlib/stream_checker.h"
+
+namespace tcsm {
+namespace {
+
+using testlib::DefaultFuzzScenarios;
+using testlib::FuzzScenario;
+
+std::string ScenarioName(const ::testing::TestParamInfo<FuzzScenario>& info) {
+  return info.param.name;
+}
+
+class StreamFuzz : public ::testing::TestWithParam<FuzzScenario> {
+ protected:
+  /// Generates the scenario's dataset and query; fails the test (rather
+  /// than skipping) when generation is impossible so a scenario can never
+  /// silently stop covering anything.
+  void SetUp() override {
+    const FuzzScenario& sc = GetParam();
+    dataset_ = GenerateSynthetic(sc.spec);
+    ASSERT_GT(dataset_.NumEdges(), 0u);
+    Rng rng(sc.seed ^ 0x9e3779b97f4a7c15ull);
+    ASSERT_TRUE(GenerateQuery(dataset_, sc.query, &rng, &query_))
+        << "scenario " << sc.name << " cannot extract a "
+        << sc.query.num_edges << "-edge query; re-tune the catalogue";
+    schema_ = GraphSchema{dataset_.directed, dataset_.vertex_labels};
+  }
+
+  /// Replays the scenario through `engine` and records the first run's
+  /// total occurred count as the cross-engine reference.
+  void Check(ContinuousEngine* engine) {
+    const uint64_t occurred = testlib::CheckEngineAgainstOracle(
+        dataset_, query_, GetParam().window, engine);
+    if (HasFailure()) return;
+    if (!have_reference_) {
+      have_reference_ = true;
+      reference_ = occurred;
+    } else {
+      EXPECT_EQ(occurred, reference_) << engine->name()
+                                      << ": total occurred count diverged";
+    }
+  }
+
+  TemporalDataset dataset_;
+  QueryGraph query_;
+  GraphSchema schema_;
+  bool have_reference_ = false;
+  uint64_t reference_ = 0;
+};
+
+// All 2^3 combinations of the three pruning techniques of Section V.
+TEST_P(StreamFuzz, TcmPruningAblations) {
+  for (int bits = 0; bits < 8; ++bits) {
+    TcmConfig config;
+    config.prune_no_relation = (bits & 1) != 0;
+    config.prune_uniform = (bits & 2) != 0;
+    config.prune_failing_set = (bits & 4) != 0;
+    TcmEngine engine(query_, schema_, config);
+    SCOPED_TRACE("pruning bits " + std::to_string(bits));
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+}
+
+// Filtering/DAG design ablations: TC-matchable filtering off (SymBi-style
+// DCS), reverse-DAG filtering off, and greedy-root DAG selection.
+TEST_P(StreamFuzz, TcmFilterAblations) {
+  {
+    TcmEngine engine(query_, schema_);
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    TcmConfig config;
+    config.use_tc_filter = false;
+    TcmEngine engine(query_, schema_, config);
+    SCOPED_TRACE("tc filter off");
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    TcmConfig config;
+    config.use_reverse_filter = false;
+    TcmEngine engine(query_, schema_, config);
+    SCOPED_TRACE("reverse filter off");
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    TcmConfig config;
+    config.use_best_dag = false;
+    TcmEngine engine(query_, schema_, config);
+    SCOPED_TRACE("greedy dag");
+    Check(&engine);
+  }
+}
+
+// The three competing engines must report the same per-event sets.
+TEST_P(StreamFuzz, BaselinesMatchOracle) {
+  {
+    TcmEngine engine(query_, schema_);
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    PostFilterEngine engine(query_, schema_);
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    LocalEnumEngine engine(query_, schema_);
+    Check(&engine);
+    if (HasFailure()) return;
+  }
+  {
+    TimingEngine engine(query_, schema_);
+    Check(&engine);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, StreamFuzz,
+                         ::testing::ValuesIn(DefaultFuzzScenarios()),
+                         ScenarioName);
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,73 @@
+// Scenario catalogue for the randomized differential stream-fuzz harness
+// (stream_fuzz_test.cpp). Each scenario deterministically derives a
+// synthetic dataset spec and a query-generation recipe from one seed, so a
+// failing scenario reproduces from its name alone. The default catalogue
+// sweeps the axes the engines are most sensitive to: graph density /
+// parallel-edge multiplicity, window size, vertex/edge label alphabet
+// sizes, directedness, query size, and temporal-order density.
+#ifndef TCSM_TESTS_TESTLIB_FUZZ_SCENARIOS_H_
+#define TCSM_TESTS_TESTLIB_FUZZ_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "datasets/synthetic.h"
+#include "querygen/query_generator.h"
+
+namespace tcsm::testlib {
+
+struct FuzzScenario {
+  std::string name;
+  uint64_t seed = 0;
+  SyntheticSpec spec;       // dataset shape (spec.seed is set from `seed`)
+  QueryGenOptions query;    // random-walk query recipe
+  Timestamp window = 40;    // stream window delta
+};
+
+/// Deterministic catalogue; every entry is sized so that the from-scratch
+/// snapshot oracle stays tractable (the checker re-enumerates all
+/// embeddings after every event).
+inline std::vector<FuzzScenario> DefaultFuzzScenarios() {
+  std::vector<FuzzScenario> out;
+  auto add = [&out](std::string name, uint64_t seed, size_t vertices,
+                    size_t edges, size_t vlabels, size_t elabels,
+                    double parallel, double skew, bool directed,
+                    size_t query_edges, double order_density,
+                    Timestamp window) {
+    FuzzScenario s;
+    s.name = std::move(name);
+    s.seed = seed;
+    s.spec.name = s.name;
+    s.spec.num_vertices = vertices;
+    s.spec.num_edges = edges;
+    s.spec.num_vertex_labels = vlabels;
+    s.spec.num_edge_labels = elabels;
+    s.spec.avg_parallel_edges = parallel;
+    s.spec.degree_skew = skew;
+    s.spec.directed = directed;
+    s.spec.seed = seed;
+    s.query.num_edges = query_edges;
+    s.query.density = order_density;
+    s.query.window = window;
+    s.window = window;
+    out.push_back(std::move(s));
+  };
+
+  //   name                 seed  |V|  |E|  vl el par  skew dir  qm dens win
+  add("sparse_unlabeled",   101,  16,  90,  2, 1, 1.2, 0.6, false, 3, 0.50, 40);
+  add("dense_parallel",     102,  10, 120,  2, 1, 3.0, 0.9, false, 4, 0.50, 35);
+  add("tiny_window",        103,  14, 110,  3, 1, 2.0, 0.8, false, 4, 0.75, 12);
+  add("wide_window",        104,  14, 100,  3, 1, 2.0, 0.8, false, 4, 0.25, 90);
+  add("many_labels",        105,  14, 120,  5, 3, 1.8, 0.7, false, 4, 0.50, 45);
+  add("directed_sparse",    106,  16, 100,  2, 1, 1.5, 0.7, true,  4, 0.50, 40);
+  add("directed_dense",     107,  10, 130,  2, 2, 2.6, 1.0, true,  4, 0.75, 30);
+  add("no_order",           108,  12, 100,  3, 1, 2.0, 0.8, false, 4, 0.00, 40);
+  add("total_order",        109,  12, 100,  3, 1, 2.0, 0.8, false, 4, 1.00, 40);
+  add("bigger_query",       110,  14, 110,  3, 1, 2.2, 0.8, false, 6, 0.50, 45);
+  return out;
+}
+
+}  // namespace tcsm::testlib
+
+#endif  // TCSM_TESTS_TESTLIB_FUZZ_SCENARIOS_H_
