@@ -29,13 +29,13 @@ QuerySetResult RunVariant(const TemporalDataset& ds,
   QuerySetResult out;
   const GraphSchema schema{ds.directed, ds.vertex_labels};
   for (const QueryGraph& q : queries) {
-    TcmEngine engine(q, schema, config);
+    SingleQueryContext<TcmEngine> run(q, schema, config);
     CountingSink sink;
-    engine.set_sink(&sink);
+    run.engine().set_sink(&sink);
     StreamConfig sc;
     sc.window = window;
     sc.time_limit_ms = limit_ms;
-    const StreamResult res = RunStream(ds, sc, &engine);
+    const StreamResult res = RunStream(ds, sc, &run);
     out.per_query_solved.push_back(res.completed ? 1 : 0);
     out.per_query_ms.push_back(res.completed ? res.elapsed_ms : limit_ms);
     out.per_query_matches.push_back(res.occurred + res.expired);

@@ -3,6 +3,7 @@
 // processing, and the workload generators.
 #include <benchmark/benchmark.h>
 
+#include "core/shared_context.h"
 #include "core/tcm_engine.h"
 #include "dag/query_dag.h"
 #include "datasets/presets.h"
@@ -116,9 +117,10 @@ void BM_TcmStreamEvents(benchmark::State& state) {
   const QueryGraph q =
       BenchQuery(static_cast<size_t>(state.range(0)), 0.5, 17);
   for (auto _ : state) {
-    TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels});
+    SingleQueryContext<TcmEngine> run(
+        q, GraphSchema{ds.directed, ds.vertex_labels});
     CountingSink sink;
-    engine.set_sink(&sink);
+    run.engine().set_sink(&sink);
     const Timestamp window = 800;
     size_t arr = 0;
     size_t exp = 0;
@@ -127,9 +129,9 @@ void BM_TcmStreamEvents(benchmark::State& state) {
           exp < arr && (arr >= ds.edges.size() ||
                         ds.edges[exp].ts + window <= ds.edges[arr].ts);
       if (do_expire) {
-        engine.OnEdgeExpiry(ds.edges[exp++]);
+        run.OnEdgeExpiry(ds.edges[exp++]);
       } else {
-        engine.OnEdgeArrival(ds.edges[arr++]);
+        run.OnEdgeArrival(ds.edges[arr++]);
       }
     }
     benchmark::DoNotOptimize(sink.occurred());

@@ -29,11 +29,12 @@ FilterStats StreamAndSample(const TemporalDataset& ds, const QueryGraph& q,
                             double limit_ms) {
   TcmConfig config;
   config.use_tc_filter = use_filter;
-  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels}, config);
+  SingleQueryContext<TcmEngine> run(
+      q, GraphSchema{ds.directed, ds.vertex_labels}, config);
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   Deadline deadline(limit_ms);
-  engine.set_deadline(&deadline);
+  run.set_deadline(&deadline);
 
   double sum_edges = 0;
   double sum_d2 = 0;
@@ -48,15 +49,17 @@ FilterStats StreamAndSample(const TemporalDataset& ds, const QueryGraph& q,
         exp < arr &&
         (arr >= n || ds.edges[exp].ts + window <= ds.edges[arr].ts);
     if (do_expire) {
-      engine.OnEdgeExpiry(ds.edges[exp]);
+      run.OnEdgeExpiry(ds.edges[exp]);
       ++exp;
     } else {
-      engine.OnEdgeArrival(ds.edges[arr]);
+      run.OnEdgeArrival(ds.edges[arr]);
       ++arr;
     }
     if ((arr + exp) % 64 == 0) {
-      sum_edges += static_cast<double>(engine.dcs().stats().num_edges);
-      sum_d2 += static_cast<double>(engine.dcs().stats().num_d2_nodes);
+      sum_edges +=
+          static_cast<double>(run.engine().dcs().stats().num_edges);
+      sum_d2 +=
+          static_cast<double>(run.engine().dcs().stats().num_d2_nodes);
       ++samples;
     }
   }

@@ -88,12 +88,13 @@ int main() {
             << " zombies, command-before-attack order per zombie\n"
             << query.ToString() << "\n";
 
-  TcmEngine engine(query, GraphSchema{true, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(query,
+                                    GraphSchema{true, ds.vertex_labels});
   AttackSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 600;  // flows expire after 600 time units
-  const StreamResult result = RunStream(ds, config, &engine);
+  const StreamResult result = RunStream(ds, config, &run);
 
   std::cout << "Streamed " << result.events << " events in "
             << result.elapsed_ms << " ms; " << result.occurred

@@ -80,12 +80,13 @@ int main() {
   std::cout << "Laundering query: directed 3-cycle, strictly increasing "
                "timestamps\n\n";
 
-  TcmEngine engine(query, GraphSchema{true, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(query,
+                                    GraphSchema{true, ds.vertex_labels});
   RingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 800;
-  const StreamResult result = RunStream(ds, config, &engine);
+  const StreamResult result = RunStream(ds, config, &run);
 
   std::cout << "Streamed " << result.events << " events in "
             << result.elapsed_ms << " ms; " << result.occurred

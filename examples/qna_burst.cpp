@@ -35,12 +35,13 @@ int main() {
   // Labels 0 in superuser presets span several user groups; restrict the
   // pattern to one label class by relabeling query vertices from the data.
   // (The preset assigns labels 0..4; class 0 is the largest.)
-  TcmEngine engine(query, GraphSchema{ds.directed, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(
+      query, GraphSchema{ds.directed, ds.vertex_labels});
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = static_cast<Timestamp>(ds.NumEdges() / 8);
-  const StreamResult result = RunStream(ds, config, &engine);
+  const StreamResult result = RunStream(ds, config, &run);
 
   std::cout << "Streamed " << result.events << " events (" << ds.NumEdges()
             << " interactions) in " << result.elapsed_ms << " ms\n"
@@ -60,10 +61,11 @@ int main() {
   unordered.AddEdge(x, y, 0);
   unordered.AddEdge(x, z, 2);
   unordered.AddEdge(x, w, 0);
-  TcmEngine engine2(unordered, GraphSchema{ds.directed, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run2(
+      unordered, GraphSchema{ds.directed, ds.vertex_labels});
   CountingSink sink2;
-  engine2.set_sink(&sink2);
-  const StreamResult result2 = RunStream(ds, config, &engine2);
+  run2.engine().set_sink(&sink2);
+  const StreamResult result2 = RunStream(ds, config, &run2);
   const double ratio =
       result.occurred > 0 ? static_cast<double>(result2.occurred) /
                                 static_cast<double>(result.occurred)

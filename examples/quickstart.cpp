@@ -74,7 +74,12 @@ int main() {
   }
 
   // --- Stream it through TCM with window delta = 10 ---------------------
-  TcmEngine engine(query, GraphSchema{false, data.vertex_labels});
+  // The context owns the one shared sliding-window graph; the engine is a
+  // read-only view attached to it (any number of queries could share the
+  // same context — see examples/network_monitor.cpp).
+  SharedStreamContext stream(GraphSchema{false, data.vertex_labels});
+  TcmEngine engine(query, stream.graph());
+  stream.Attach(&engine);
   PrintingSink sink;
   engine.set_sink(&sink);
 
@@ -82,7 +87,7 @@ int main() {
   config.window = 10;
   std::cout << "Streaming " << data.edges.size()
             << " edges with window delta = " << config.window << ":\n";
-  const StreamResult result = RunStream(data, config, &engine);
+  const StreamResult result = RunStream(data, config, &stream);
 
   std::cout << "\nDone: " << result.occurred << " occurred, "
             << result.expired << " expired, " << result.events

@@ -3,18 +3,16 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/memory_meter.h"
 #include "filter/maxmin_index.h"  // StaticFeasible
 
 namespace tcsm {
 
 LocalEnumEngine::LocalEnumEngine(const QueryGraph& query,
-                                 const GraphSchema& schema)
-    : query_(query), g_(schema.directed) {
+                                 const TemporalGraph& graph)
+    : query_(query), g_(graph) {
   TCSM_CHECK(query_.Validate().ok());
-  g_.EnsureVertices(schema.vertex_labels.size());
-  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
-    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
-  }
+  TCSM_CHECK(query_.directed() == g_.directed());
   const size_t m = query_.NumEdges();
   order_from_.resize(m);
   for (EdgeId seed = 0; seed < m; ++seed) {
@@ -43,18 +41,12 @@ LocalEnumEngine::LocalEnumEngine(const QueryGraph& query,
   ets_.assign(query_.NumEdges(), 0);
 }
 
-void LocalEnumEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
-  const EdgeId id =
-      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
-  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
-  FindMatches(g_.Edge(id), MatchKind::kOccurred);
+void LocalEnumEngine::OnEdgeInserted(const TemporalEdge& ed) {
+  FindMatches(ed, MatchKind::kOccurred);
 }
 
-void LocalEnumEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
-  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
-  const TemporalEdge ed = g_.Edge(ed_in.id);
+void LocalEnumEngine::OnEdgeExpiring(const TemporalEdge& ed) {
   FindMatches(ed, MatchKind::kExpired);
-  g_.RemoveEdge(ed.id);
 }
 
 void LocalEnumEngine::FindMatches(const TemporalEdge& ed, MatchKind kind) {
@@ -170,7 +162,10 @@ void LocalEnumEngine::TryAssign(size_t step, EdgeId qe,
 }
 
 size_t LocalEnumEngine::EstimateMemoryBytes() const {
-  return g_.EstimateMemoryBytes();
+  // Index-free: only the precomputed matching orders and scratch vectors.
+  size_t bytes = VectorBytes(vmap_) + VectorBytes(emap_) + VectorBytes(ets_);
+  for (const auto& order : order_from_) bytes += VectorBytes(order);
+  return bytes;
 }
 
 }  // namespace tcsm

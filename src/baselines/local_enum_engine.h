@@ -19,14 +19,15 @@ namespace tcsm {
 
 class LocalEnumEngine : public ContinuousEngine {
  public:
-  LocalEnumEngine(const QueryGraph& query, const GraphSchema& schema);
+  /// `graph` is the context-owned shared graph (see core/shared_context.h).
+  LocalEnumEngine(const QueryGraph& query, const TemporalGraph& graph);
 
   LocalEnumEngine(const LocalEnumEngine&) = delete;
   LocalEnumEngine& operator=(const LocalEnumEngine&) = delete;
 
   std::string name() const override { return "LocalEnum-Post"; }
-  void OnEdgeArrival(const TemporalEdge& ed) override;
-  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  void OnEdgeInserted(const TemporalEdge& ed) override;
+  void OnEdgeExpiring(const TemporalEdge& ed) override;
   size_t EstimateMemoryBytes() const override;
 
  private:
@@ -36,7 +37,7 @@ class LocalEnumEngine : public ContinuousEngine {
                  VertexId b);
 
   QueryGraph query_;
-  TemporalGraph g_;
+  const TemporalGraph& g_;  // shared, owned by the stream context
   /// order_from_[qe]: query edges in BFS order starting at qe, so every
   /// subsequent edge touches an already-covered vertex.
   std::vector<std::vector<EdgeId>> order_from_;

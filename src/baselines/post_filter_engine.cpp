@@ -8,16 +8,13 @@
 namespace tcsm {
 
 PostFilterEngine::PostFilterEngine(const QueryGraph& query,
-                                   const GraphSchema& schema)
+                                   const TemporalGraph& graph)
     : query_(query),
       dag_(QueryDag::BuildBestDag(query_)),
-      g_(schema.directed),
+      g_(graph),
       dcs_(&query_, &dag_) {
   TCSM_CHECK(query_.Validate().ok());
-  g_.EnsureVertices(schema.vertex_labels.size());
-  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
-    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
-  }
+  TCSM_CHECK(query_.directed() == g_.directed());
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
   emap_.assign(query_.NumEdges(), kInvalidEdge);
   ets_.assign(query_.NumEdges(), 0);
@@ -36,21 +33,19 @@ void PostFilterEngine::ApplyTriples(const TemporalEdge& ed, bool inserting) {
   }
 }
 
-void PostFilterEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
-  const EdgeId id =
-      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
-  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
-  const TemporalEdge ed = g_.Edge(id);
+void PostFilterEngine::OnEdgeInserted(const TemporalEdge& ed) {
   ApplyTriples(ed, /*inserting=*/true);
   FindMatches(ed, MatchKind::kOccurred);
 }
 
-void PostFilterEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
-  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
-  const TemporalEdge ed = g_.Edge(ed_in.id);
+void PostFilterEngine::OnEdgeExpiring(const TemporalEdge& ed) {
   FindMatches(ed, MatchKind::kExpired);
+}
+
+void PostFilterEngine::OnEdgeRemoved(const TemporalEdge& ed) {
+  // StaticFeasible only reads labels, so the verdicts are identical before
+  // and after the graph deletion.
   ApplyTriples(ed, /*inserting=*/false);
-  g_.RemoveEdge(ed.id);
 }
 
 void PostFilterEngine::FindMatches(const TemporalEdge& ed, MatchKind kind) {
@@ -186,7 +181,8 @@ void PostFilterEngine::ReportIfTimeConstrained() {
 }
 
 size_t PostFilterEngine::EstimateMemoryBytes() const {
-  return g_.EstimateMemoryBytes() + dcs_.EstimateMemoryBytes();
+  // Per-query state only; the shared graph is accounted by the context.
+  return dcs_.EstimateMemoryBytes();
 }
 
 }  // namespace tcsm

@@ -21,14 +21,16 @@ namespace tcsm {
 
 class PostFilterEngine : public ContinuousEngine {
  public:
-  PostFilterEngine(const QueryGraph& query, const GraphSchema& schema);
+  /// `graph` is the context-owned shared graph (see core/shared_context.h).
+  PostFilterEngine(const QueryGraph& query, const TemporalGraph& graph);
 
   PostFilterEngine(const PostFilterEngine&) = delete;
   PostFilterEngine& operator=(const PostFilterEngine&) = delete;
 
   std::string name() const override { return "SymBi-Post"; }
-  void OnEdgeArrival(const TemporalEdge& ed) override;
-  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  void OnEdgeInserted(const TemporalEdge& ed) override;
+  void OnEdgeExpiring(const TemporalEdge& ed) override;
+  void OnEdgeRemoved(const TemporalEdge& ed) override;
   size_t EstimateMemoryBytes() const override;
 
   const DcsIndex& dcs() const { return dcs_; }
@@ -44,7 +46,7 @@ class PostFilterEngine : public ContinuousEngine {
 
   QueryGraph query_;
   QueryDag dag_;
-  TemporalGraph g_;
+  const TemporalGraph& g_;  // shared, owned by the stream context
   DcsIndex dcs_;
 
   MatchKind kind_ = MatchKind::kOccurred;

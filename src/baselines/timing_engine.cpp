@@ -8,14 +8,11 @@
 
 namespace tcsm {
 
-TimingEngine::TimingEngine(const QueryGraph& query, const GraphSchema& schema,
-                           TimingConfig config)
-    : query_(query), config_(config), g_(schema.directed) {
+TimingEngine::TimingEngine(const QueryGraph& query,
+                           const TemporalGraph& graph, TimingConfig config)
+    : query_(query), config_(config), g_(graph) {
   TCSM_CHECK(query_.Validate().ok());
-  g_.EnsureVertices(schema.vertex_labels.size());
-  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
-    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
-  }
+  TCSM_CHECK(query_.directed() == g_.directed());
 
   // Linear extension of ≺ preferring edges that touch the covered prefix
   // (connected prefixes keep joins selective).
@@ -106,12 +103,7 @@ uint64_t TimingEngine::JoinKeyOfEdge(size_t level, VertexId img_u,
   return PackPair(a, b);
 }
 
-void TimingEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
-  const EdgeId id =
-      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
-  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
-  const TemporalEdge ed = g_.Edge(id);
-
+void TimingEngine::OnEdgeInserted(const TemporalEdge& ed) {
   for (size_t i = 0; i < order_.size(); ++i) {
     const EdgeId qe = order_[i];
     bool any_feasible = false;
@@ -290,11 +282,12 @@ void TimingEngine::EraseRecord(size_t level, uint64_t pid) {
   --total_records_;
 }
 
-void TimingEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
-  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
-  const EdgeId id = ed_in.id;
+void TimingEngine::OnEdgeExpiring(const TemporalEdge& ed) {
+  const EdgeId id = ed.id;
 
-  // Report expiring complete embeddings, then evict at every level.
+  // Report expiring complete embeddings, then evict at every level. All
+  // work happens pre-deletion: eviction only touches materialized records
+  // (the retained edge store keeps g_.Edge(id) readable afterwards).
   const size_t last = order_.size() - 1;
   {
     Level& lv = levels_[last];
@@ -315,11 +308,11 @@ void TimingEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
     lv.by_edge.erase(bit);
   }
   for (auto& fl : feasible_live_) fl.erase(id);
-  g_.RemoveEdge(id);
 }
 
 size_t TimingEngine::EstimateMemoryBytes() const {
-  size_t bytes = g_.EstimateMemoryBytes();
+  // Per-query state only; the shared graph is accounted by the context.
+  size_t bytes = 0;
   for (size_t level = 0; level < levels_.size(); ++level) {
     const Level& lv = levels_[level];
     // Record payload + map node overhead.

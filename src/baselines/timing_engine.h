@@ -29,15 +29,16 @@ struct TimingConfig {
 
 class TimingEngine : public ContinuousEngine {
  public:
-  TimingEngine(const QueryGraph& query, const GraphSchema& schema,
+  /// `graph` is the context-owned shared graph (see core/shared_context.h).
+  TimingEngine(const QueryGraph& query, const TemporalGraph& graph,
                TimingConfig config = {});
 
   TimingEngine(const TimingEngine&) = delete;
   TimingEngine& operator=(const TimingEngine&) = delete;
 
   std::string name() const override { return "Timing"; }
-  void OnEdgeArrival(const TemporalEdge& ed) override;
-  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  void OnEdgeInserted(const TemporalEdge& ed) override;
+  void OnEdgeExpiring(const TemporalEdge& ed) override;
   size_t EstimateMemoryBytes() const override;
   bool overflowed() const override { return overflowed_; }
 
@@ -87,7 +88,7 @@ class TimingEngine : public ContinuousEngine {
 
   QueryGraph query_;
   TimingConfig config_;
-  TemporalGraph g_;
+  const TemporalGraph& g_;  // shared, owned by the stream context
 
   std::vector<EdgeId> order_;          // linear extension of ≺
   std::vector<size_t> pos_of_edge_;    // query edge -> prefix position

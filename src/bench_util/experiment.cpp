@@ -35,28 +35,28 @@ const char* EngineKindName(EngineKind kind) {
 
 std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
                                              const QueryGraph& query,
-                                             const GraphSchema& schema) {
+                                             const TemporalGraph& graph) {
   switch (kind) {
     case EngineKind::kTcm:
-      return std::make_unique<TcmEngine>(query, schema);
+      return std::make_unique<TcmEngine>(query, graph);
     case EngineKind::kTcmPruning: {
       TcmConfig config;
       config.prune_no_relation = false;
       config.prune_uniform = false;
       config.prune_failing_set = false;
-      return std::make_unique<TcmEngine>(query, schema, config);
+      return std::make_unique<TcmEngine>(query, graph, config);
     }
     case EngineKind::kTcmNoFilter: {
       TcmConfig config;
       config.use_tc_filter = false;
-      return std::make_unique<TcmEngine>(query, schema, config);
+      return std::make_unique<TcmEngine>(query, graph, config);
     }
     case EngineKind::kSymbiPost:
-      return std::make_unique<PostFilterEngine>(query, schema);
+      return std::make_unique<PostFilterEngine>(query, graph);
     case EngineKind::kLocalEnum:
-      return std::make_unique<LocalEnumEngine>(query, schema);
+      return std::make_unique<LocalEnumEngine>(query, graph);
     case EngineKind::kTiming:
-      return std::make_unique<TimingEngine>(query, schema);
+      return std::make_unique<TimingEngine>(query, graph);
   }
   TCSM_CHECK(false);
   return nullptr;
@@ -86,13 +86,15 @@ QuerySetResult RunQuerySet(const TemporalDataset& dataset,
   QuerySetResult out;
   const GraphSchema schema = SchemaOf(dataset);
   for (const QueryGraph& query : queries) {
-    auto engine = MakeEngine(kind, query, schema);
+    SharedStreamContext ctx(schema);
+    auto engine = MakeEngine(kind, query, ctx.graph());
+    ctx.Attach(engine.get());
     CountingSink sink;
     engine->set_sink(&sink);
     StreamConfig config;
     config.window = window;
     config.time_limit_ms = time_limit_ms;
-    const StreamResult res = RunStream(dataset, config, engine.get());
+    const StreamResult res = RunStream(dataset, config, &ctx);
     out.per_query_solved.push_back(res.completed ? 1 : 0);
     out.per_query_ms.push_back(
         res.completed ? res.elapsed_ms
@@ -123,13 +125,15 @@ QuerySetResult RunQuerySetParallel(const TemporalDataset& dataset,
     for (;;) {
       const size_t q = next.fetch_add(1);
       if (q >= n) return;
-      auto engine = MakeEngine(kind, queries[q], schema);
+      SharedStreamContext ctx(schema);
+      auto engine = MakeEngine(kind, queries[q], ctx.graph());
+      ctx.Attach(engine.get());
       CountingSink sink;
       engine->set_sink(&sink);
       StreamConfig config;
       config.window = window;
       config.time_limit_ms = time_limit_ms;
-      const StreamResult res = RunStream(dataset, config, engine.get());
+      const StreamResult res = RunStream(dataset, config, &ctx);
       out.per_query_solved[q] = res.completed ? 1 : 0;
       out.per_query_ms[q] =
           res.completed ? res.elapsed_ms

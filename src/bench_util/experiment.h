@@ -27,9 +27,11 @@ enum class EngineKind {
 
 const char* EngineKindName(EngineKind kind);
 
+/// Creates an engine of `kind` as a read-only view of `graph` (the shared
+/// graph of the SharedStreamContext the caller attaches it to).
 std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
                                              const QueryGraph& query,
-                                             const GraphSchema& schema);
+                                             const TemporalGraph& graph);
 
 GraphSchema SchemaOf(const TemporalDataset& dataset);
 

@@ -240,21 +240,24 @@ int CmdRun(const Args& args, std::ostream& out) {
     return 1;
   }
 
-  const GraphSchema schema{ds->directed, ds->vertex_labels};
+  // The context owns the one shared sliding-window graph; the engine is a
+  // read-only view attached to it.
+  SharedStreamContext context(GraphSchema{ds->directed, ds->vertex_labels});
   std::unique_ptr<ContinuousEngine> engine;
   const std::string kind = flags.GetString("engine", "tcm");
   if (kind == "tcm") {
-    engine = std::make_unique<TcmEngine>(*q, schema);
+    engine = std::make_unique<TcmEngine>(*q, context.graph());
   } else if (kind == "timing") {
-    engine = std::make_unique<TimingEngine>(*q, schema);
+    engine = std::make_unique<TimingEngine>(*q, context.graph());
   } else if (kind == "symbi") {
-    engine = std::make_unique<PostFilterEngine>(*q, schema);
+    engine = std::make_unique<PostFilterEngine>(*q, context.graph());
   } else if (kind == "local") {
-    engine = std::make_unique<LocalEnumEngine>(*q, schema);
+    engine = std::make_unique<LocalEnumEngine>(*q, context.graph());
   } else {
     out << "error: unknown engine '" << kind << "'\n";
     return 1;
   }
+  context.Attach(engine.get());
 
   StreamPrintSink print_sink(out);
   CountingSink counting_sink;
@@ -272,7 +275,7 @@ int CmdRun(const Args& args, std::ostream& out) {
   StreamConfig config;
   config.window = flags.GetInt("window", 0);
   config.time_limit_ms = flags.GetDouble("limit_ms", 0);
-  const StreamResult res = RunStream(*ds, config, engine.get());
+  const StreamResult res = RunStream(*ds, config, &context);
   out << "engine=" << engine->name() << " events=" << res.events
       << " occurred=" << res.occurred << " expired=" << res.expired
       << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)

@@ -1,7 +1,11 @@
 // Common interface of all continuous-matching engines (TCM and the
-// baselines) plus match sinks. An engine receives arrival/expiration
-// events from the stream driver and reports every time-constrained
-// embedding that occurs or expires.
+// baselines) plus match sinks. Engines are read-only views over the one
+// canonical sliding-window graph owned by a SharedStreamContext
+// (core/shared_context.h): the context applies each arrival/expiration to
+// the graph exactly once and then notifies every attached engine, which
+// maintains only per-query state (DAG, filter indexes, DCS, backtracking
+// scratch) and reports every time-constrained embedding that occurs or
+// expires. See DESIGN.md §1 for the ownership model.
 #ifndef TCSM_CORE_ENGINE_H_
 #define TCSM_CORE_ENGINE_H_
 
@@ -78,6 +82,11 @@ struct EngineCounters {
   /// vs. backtracking. Only the TCM engine fills these.
   uint64_t update_ns = 0;
   uint64_t search_ns = 0;
+  /// Shared-graph removals that fell back to the O(n) linear adjacency
+  /// scan (TemporalGraph::non_fifo_removals). Filled only in aggregated
+  /// counters (SharedStreamContext::AggregateCounters); per-engine
+  /// counters leave it 0 since engines no longer own the graph.
+  uint64_t non_fifo_removals = 0;
 };
 
 class ContinuousEngine {
@@ -86,12 +95,25 @@ class ContinuousEngine {
 
   virtual std::string name() const = 0;
 
-  /// Edge ids must be dense arrival indices (0, 1, 2, ...) — the dataset
-  /// edge ids after TemporalDataset::Normalize().
-  virtual void OnEdgeArrival(const TemporalEdge& ed) = 0;
-  virtual void OnEdgeExpiry(const TemporalEdge& ed) = 0;
+  /// Notification hooks, driven by the SharedStreamContext that owns the
+  /// shared data graph. `ed` is always the canonical graph edge with its
+  /// dense graph-assigned id already in place.
+  ///
+  /// Called after the arrival was applied to the shared graph: update
+  /// per-query indexes and enumerate the embeddings that occur with `ed`.
+  virtual void OnEdgeInserted(const TemporalEdge& ed) = 0;
+  /// Called while the expiring edge is still live in the shared graph:
+  /// enumerate the embeddings that expire with it against the pre-deletion
+  /// state (DESIGN.md §3).
+  virtual void OnEdgeExpiring(const TemporalEdge& ed) = 0;
+  /// Called after the edge was removed from the shared graph: update
+  /// per-query indexes. Engines without deletion-time index work keep the
+  /// default no-op.
+  virtual void OnEdgeRemoved(const TemporalEdge& ed) { (void)ed; }
 
-  /// Accounting-based footprint of the engine's live state.
+  /// Accounting-based footprint of the engine's per-query state (indexes,
+  /// materialized records, scratch). The shared graph is accounted once by
+  /// the SharedStreamContext, never here.
   virtual size_t EstimateMemoryBytes() const = 0;
 
   /// True when internal capacity limits were exceeded (Timing's

@@ -11,8 +11,6 @@ bool MultiQueryEngine::TaggedSink::wants_each_embedding() const {
 void MultiQueryEngine::TaggedSink::OnMatch(const Embedding& embedding,
                                            MatchKind kind,
                                            uint64_t multiplicity) {
-  (kind == MatchKind::kOccurred ? parent_->counters_.occurred
-                                : parent_->counters_.expired) += multiplicity;
   if (parent_->multi_sink_ != nullptr) {
     parent_->multi_sink_->OnMatch(index_, embedding, kind, multiplicity);
   }
@@ -20,36 +18,17 @@ void MultiQueryEngine::TaggedSink::OnMatch(const Embedding& embedding,
 
 MultiQueryEngine::MultiQueryEngine(const std::vector<QueryGraph>& queries,
                                    const GraphSchema& schema,
-                                   TcmConfig config) {
+                                   TcmConfig config)
+    : SharedStreamContext(schema) {
   TCSM_CHECK(!queries.empty());
-  engines_.reserve(queries.size());
+  owned_.reserve(queries.size());
   tagged_.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    engines_.push_back(
-        std::make_unique<TcmEngine>(queries[i], schema, config));
+    owned_.push_back(std::make_unique<TcmEngine>(queries[i], graph(), config));
     tagged_.push_back(std::make_unique<TaggedSink>(this, i));
-    engines_.back()->set_sink(tagged_.back().get());
+    owned_.back()->set_sink(tagged_.back().get());
+    Attach(owned_.back().get());
   }
-}
-
-void MultiQueryEngine::OnEdgeArrival(const TemporalEdge& ed) {
-  for (auto& engine : engines_) {
-    engine->set_deadline(deadline_);
-    engine->OnEdgeArrival(ed);
-  }
-}
-
-void MultiQueryEngine::OnEdgeExpiry(const TemporalEdge& ed) {
-  for (auto& engine : engines_) {
-    engine->set_deadline(deadline_);
-    engine->OnEdgeExpiry(ed);
-  }
-}
-
-size_t MultiQueryEngine::EstimateMemoryBytes() const {
-  size_t bytes = 0;
-  for (const auto& engine : engines_) bytes += engine->EstimateMemoryBytes();
-  return bytes;
 }
 
 }  // namespace tcsm

@@ -1,17 +1,19 @@
-// Fan-out engine: monitors many temporal query graphs over one stream by
-// forwarding every arrival/expiration to a set of per-query engines. This
-// is the deployment shape of the paper's motivating applications (a bank
-// watches many laundering patterns; an IDS watches the Verizon top-10
-// attack patterns simultaneously). Sinks are tagged with the query index
-// so detections stay attributable.
+// Fan-out over one shared stream: monitors many temporal query graphs by
+// attaching one per-query TCM engine per query to a single
+// SharedStreamContext. This is the deployment shape of the paper's
+// motivating applications (a bank watches many laundering patterns; an
+// IDS watches the Verizon top-10 attack patterns simultaneously) — and
+// the reason the windowed data graph is shared: the context stores and
+// updates it exactly once per event regardless of the query count, while
+// each engine keeps only its per-query indexes. Sinks are tagged with the
+// query index so detections stay attributable.
 #ifndef TCSM_CORE_MULTI_ENGINE_H_
 #define TCSM_CORE_MULTI_ENGINE_H_
 
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/shared_context.h"
 #include "core/tcm_engine.h"
 #include "query/query_graph.h"
 
@@ -26,23 +28,21 @@ class MultiMatchSink {
                        MatchKind kind, uint64_t multiplicity) = 0;
 };
 
-class MultiQueryEngine : public ContinuousEngine {
+class MultiQueryEngine : public SharedStreamContext {
  public:
-  /// One TCM engine per query; all queries must share the schema's
-  /// directedness.
+  /// One TCM engine per query, all views of the one shared graph; all
+  /// queries must share the schema's directedness.
   MultiQueryEngine(const std::vector<QueryGraph>& queries,
                    const GraphSchema& schema, TcmConfig config = {});
 
-  std::string name() const override { return "TCM-Multi"; }
-  void OnEdgeArrival(const TemporalEdge& ed) override;
-  void OnEdgeExpiry(const TemporalEdge& ed) override;
-  size_t EstimateMemoryBytes() const override;
-
   void set_multi_sink(MultiMatchSink* sink) { multi_sink_ = sink; }
 
-  size_t NumQueries() const { return engines_.size(); }
+  size_t NumQueries() const { return owned_.size(); }
   const EngineCounters& QueryCounters(size_t query_index) const {
-    return engines_[query_index]->counters();
+    return owned_[query_index]->counters();
+  }
+  const TcmEngine& QueryEngine(size_t query_index) const {
+    return *owned_[query_index];
   }
 
  private:
@@ -60,7 +60,7 @@ class MultiQueryEngine : public ContinuousEngine {
     size_t index_;
   };
 
-  std::vector<std::unique_ptr<TcmEngine>> engines_;
+  std::vector<std::unique_ptr<TcmEngine>> owned_;
   std::vector<std::unique_ptr<TaggedSink>> tagged_;
   MultiMatchSink* multi_sink_ = nullptr;
 };

@@ -1,0 +1,72 @@
+#include "core/shared_context.h"
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+SharedStreamContext::SharedStreamContext(const GraphSchema& schema)
+    : g_(schema.directed) {
+  g_.EnsureVertices(schema.vertex_labels.size());
+  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
+    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
+  }
+}
+
+void SharedStreamContext::Attach(ContinuousEngine* engine) {
+  TCSM_CHECK(engine != nullptr);
+  engine->set_deadline(deadline_);
+  engines_.push_back(engine);
+}
+
+void SharedStreamContext::OnEdgeArrival(const TemporalEdge& ed) {
+  const EdgeId id = g_.InsertEdge(ed.src, ed.dst, ed.ts, ed.label);
+  TCSM_CHECK(id == ed.id && "edge ids must be dense arrival indices");
+  const TemporalEdge& applied = g_.Edge(id);
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeInserted(applied);
+}
+
+void SharedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
+  TCSM_CHECK(ed.id < g_.NumEdgesEver() && g_.Alive(ed.id));
+  // Copy: the canonical record outlives the removal, but engines receive a
+  // stable value either way.
+  const TemporalEdge applied = g_.Edge(ed.id);
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeExpiring(applied);
+  g_.RemoveEdge(applied.id);
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeRemoved(applied);
+}
+
+size_t SharedStreamContext::EstimateMemoryBytes() const {
+  size_t bytes = g_.EstimateMemoryBytes();
+  for (const ContinuousEngine* engine : engines_) {
+    bytes += engine->EstimateMemoryBytes();
+  }
+  return bytes;
+}
+
+bool SharedStreamContext::overflowed() const {
+  for (const ContinuousEngine* engine : engines_) {
+    if (engine->overflowed()) return true;
+  }
+  return false;
+}
+
+void SharedStreamContext::set_deadline(Deadline* deadline) {
+  deadline_ = deadline;
+  for (ContinuousEngine* engine : engines_) engine->set_deadline(deadline);
+}
+
+EngineCounters SharedStreamContext::AggregateCounters() const {
+  EngineCounters total;
+  for (const ContinuousEngine* engine : engines_) {
+    const EngineCounters& c = engine->counters();
+    total.occurred += c.occurred;
+    total.expired += c.expired;
+    total.search_nodes += c.search_nodes;
+    total.update_ns += c.update_ns;
+    total.search_ns += c.search_ns;
+  }
+  total.non_fifo_removals = g_.non_fifo_removals();
+  return total;
+}
+
+}  // namespace tcsm

@@ -1,0 +1,91 @@
+// Shared sliding-window graph for continuous matching. A stream carries
+// one data graph regardless of how many queries watch it, so the context
+// owns the one canonical TemporalGraph, applies every arrival/expiration
+// to it exactly once, and fans the applied event out to the engines
+// attached to it. Engines are read-only views (const TemporalGraph&) and
+// keep only per-query state — O(1) graph storage and one adjacency update
+// per event for any number of queries (DESIGN.md §1).
+#ifndef TCSM_CORE_SHARED_CONTEXT_H_
+#define TCSM_CORE_SHARED_CONTEXT_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/temporal_graph.h"
+#include "query/query_graph.h"
+
+namespace tcsm {
+
+class SharedStreamContext {
+ public:
+  explicit SharedStreamContext(const GraphSchema& schema);
+  virtual ~SharedStreamContext() = default;
+
+  SharedStreamContext(const SharedStreamContext&) = delete;
+  SharedStreamContext& operator=(const SharedStreamContext&) = delete;
+
+  /// The canonical windowed graph. Engines bind to this at construction.
+  const TemporalGraph& graph() const { return g_; }
+
+  /// Registers an engine constructed against graph(). The engine must
+  /// outlive all subsequent event processing.
+  void Attach(ContinuousEngine* engine);
+  const std::vector<ContinuousEngine*>& engines() const { return engines_; }
+
+  /// Applies an arrival to the shared graph (edge ids must be the dense
+  /// arrival indices 0, 1, 2, ... of TemporalDataset::Normalize()) and
+  /// notifies every engine with the canonical graph edge.
+  void OnEdgeArrival(const TemporalEdge& ed);
+
+  /// Two-phase expiration (DESIGN.md §3): engines first enumerate the
+  /// embeddings that die with the edge against the pre-deletion graph,
+  /// then the edge is removed once and engines update their indexes.
+  void OnEdgeExpiry(const TemporalEdge& ed);
+
+  /// Honest multi-query footprint: the shared graph accounted once plus
+  /// every attached engine's per-query state.
+  size_t EstimateMemoryBytes() const;
+
+  /// True when any attached engine overflowed (results incomplete).
+  bool overflowed() const;
+
+  /// Propagates the per-run deadline to every attached engine (including
+  /// engines attached later).
+  void set_deadline(Deadline* deadline);
+
+  /// Sum of the attached engines' counters; `non_fifo_removals` is read
+  /// from the shared graph.
+  EngineCounters AggregateCounters() const;
+
+ private:
+  TemporalGraph g_;
+  std::vector<ContinuousEngine*> engines_;
+  Deadline* deadline_ = nullptr;
+};
+
+/// Context owning a single engine — the shape of most call sites (CLI,
+/// per-figure benches, single-query tests): one query over one stream.
+/// Extra constructor arguments are forwarded to the engine after the
+/// graph reference (e.g. a TcmConfig).
+template <typename EngineT>
+class SingleQueryContext : public SharedStreamContext {
+ public:
+  template <typename... Args>
+  SingleQueryContext(const QueryGraph& query, const GraphSchema& schema,
+                     Args&&... args)
+      : SharedStreamContext(schema),
+        engine_(query, graph(), std::forward<Args>(args)...) {
+    Attach(&engine_);
+  }
+
+  EngineT& engine() { return engine_; }
+  const EngineT& engine() const { return engine_; }
+
+ private:
+  EngineT engine_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_CORE_SHARED_CONTEXT_H_

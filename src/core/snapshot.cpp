@@ -19,14 +19,15 @@ SnapshotResult FindAllMatches(const TemporalDataset& dataset,
                               const QueryGraph& query,
                               const SnapshotOptions& options) {
   SnapshotResult result;
-  TcmEngine engine(query, GraphSchema{dataset.directed, dataset.vertex_labels},
-                   options.engine_config);
+  SingleQueryContext<TcmEngine> run(
+      query, GraphSchema{dataset.directed, dataset.vertex_labels},
+      options.engine_config);
   CollectingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = EffectiveSnapshotWindow(dataset, options.window);
   config.time_limit_ms = options.time_limit_ms;
-  const StreamResult stream = RunStream(dataset, config, &engine);
+  const StreamResult stream = RunStream(dataset, config, &run);
   result.completed = stream.completed;
   result.matches.reserve(stream.occurred);
   for (const auto& [embedding, kind] : sink.matches()) {
@@ -39,14 +40,15 @@ SnapshotCount CountAllMatches(const TemporalDataset& dataset,
                               const QueryGraph& query,
                               const SnapshotOptions& options) {
   SnapshotCount result;
-  TcmEngine engine(query, GraphSchema{dataset.directed, dataset.vertex_labels},
-                   options.engine_config);
+  SingleQueryContext<TcmEngine> run(
+      query, GraphSchema{dataset.directed, dataset.vertex_labels},
+      options.engine_config);
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = EffectiveSnapshotWindow(dataset, options.window);
   config.time_limit_ms = options.time_limit_ms;
-  const StreamResult stream = RunStream(dataset, config, &engine);
+  const StreamResult stream = RunStream(dataset, config, &run);
   result.completed = stream.completed;
   result.matches = sink.occurred();
   return result;

@@ -7,7 +7,8 @@
 namespace tcsm {
 
 StreamResult RunStream(const TemporalDataset& dataset,
-                       const StreamConfig& config, ContinuousEngine* engine) {
+                       const StreamConfig& config,
+                       SharedStreamContext* context) {
   TCSM_CHECK(config.window > 0);
   StreamResult result;
   const size_t n = dataset.edges.size();
@@ -15,7 +16,7 @@ StreamResult RunStream(const TemporalDataset& dataset,
       config.max_arrivals == 0 ? n : std::min(n, config.max_arrivals);
 
   Deadline deadline(config.time_limit_ms);
-  engine->set_deadline(config.time_limit_ms > 0 ? &deadline : nullptr);
+  context->set_deadline(config.time_limit_ms > 0 ? &deadline : nullptr);
 
   size_t sample_every = config.memory_sample_every;
   if (sample_every == 0) {
@@ -24,13 +25,12 @@ StreamResult RunStream(const TemporalDataset& dataset,
 
   PeakMeter peak;
   StopWatch watch;
-  const uint64_t base_occurred = engine->counters().occurred;
-  const uint64_t base_expired = engine->counters().expired;
+  const EngineCounters base = context->AggregateCounters();
 
   size_t arr = 0;
   size_t exp = 0;
   while (arr < arrivals || exp < arr) {
-    if (deadline.ExpiredNow() || engine->overflowed()) {
+    if (deadline.ExpiredNow() || context->overflowed()) {
       result.completed = false;
       break;
     }
@@ -42,25 +42,27 @@ StreamResult RunStream(const TemporalDataset& dataset,
         (!have_arrival ||
          dataset.edges[exp].ts + config.window <= dataset.edges[arr].ts);
     if (do_expire) {
-      engine->OnEdgeExpiry(dataset.edges[exp]);
+      context->OnEdgeExpiry(dataset.edges[exp]);
       ++exp;
     } else {
       TCSM_CHECK(have_arrival);
-      engine->OnEdgeArrival(dataset.edges[arr]);
+      context->OnEdgeArrival(dataset.edges[arr]);
       ++arr;
     }
     ++result.events;
     if (result.events % sample_every == 0) {
-      peak.Observe(engine->EstimateMemoryBytes());
+      peak.Observe(context->EstimateMemoryBytes());
     }
   }
-  peak.Observe(engine->EstimateMemoryBytes());
+  peak.Observe(context->EstimateMemoryBytes());
 
   result.elapsed_ms = watch.ElapsedMs();
-  result.occurred = engine->counters().occurred - base_occurred;
-  result.expired = engine->counters().expired - base_expired;
+  const EngineCounters now = context->AggregateCounters();
+  result.occurred = now.occurred - base.occurred;
+  result.expired = now.expired - base.expired;
+  result.non_fifo_removals = now.non_fifo_removals - base.non_fifo_removals;
   result.peak_memory_bytes = peak.peak_bytes();
-  engine->set_deadline(nullptr);
+  context->set_deadline(nullptr);
   return result;
 }
 

@@ -1,15 +1,16 @@
 // Replays a temporal dataset as a stream of arrival/expiration events
-// against an engine (Algorithm 1's event list L): edge e with timestamp t
-// yields (e, t, +) and (e, t + delta, -). Events are processed in
-// chronological order with expirations before arrivals on ties, so an
+// against a SharedStreamContext (Algorithm 1's event list L): edge e with
+// timestamp t yields (e, t, +) and (e, t + delta, -). Events are processed
+// in chronological order with expirations before arrivals on ties, so an
 // embedding can never use an edge that expires exactly when a new edge
-// arrives (Example II.2).
+// arrives (Example II.2). The context applies each event to the shared
+// graph once and fans it out to every attached engine.
 #ifndef TCSM_CORE_STREAM_DRIVER_H_
 #define TCSM_CORE_STREAM_DRIVER_H_
 
 #include <cstdint>
 
-#include "core/engine.h"
+#include "core/shared_context.h"
 #include "graph/temporal_dataset.h"
 
 namespace tcsm {
@@ -20,7 +21,7 @@ struct StreamConfig {
   /// Per-run wall-clock limit; 0 = unlimited. A run that exceeds it is
   /// reported as not completed ("unsolved" in the paper's terms).
   double time_limit_ms = 0;
-  /// Engine memory is sampled every this many events; 0 = adaptive
+  /// Context memory is sampled every this many events; 0 = adaptive
   /// (about 32 samples per run, so sampling never dominates).
   size_t memory_sample_every = 0;
   /// Stop the replay after this many arrivals (0 = all). Expirations of
@@ -31,14 +32,20 @@ struct StreamConfig {
 struct StreamResult {
   bool completed = true;
   double elapsed_ms = 0;
+  /// Summed over all engines attached to the context.
   uint64_t occurred = 0;
   uint64_t expired = 0;
   size_t events = 0;
+  /// Peak of the context estimate: shared graph once + per-query state.
   size_t peak_memory_bytes = 0;
+  /// Shared-graph removals that fell back to the O(n) linear scan during
+  /// this run (0 for the driver's FIFO expiration order).
+  uint64_t non_fifo_removals = 0;
 };
 
 StreamResult RunStream(const TemporalDataset& dataset,
-                       const StreamConfig& config, ContinuousEngine* engine);
+                       const StreamConfig& config,
+                       SharedStreamContext* context);
 
 }  // namespace tcsm
 

@@ -27,21 +27,17 @@ class ScopedNs {
 
 }  // namespace
 
-TcmEngine::TcmEngine(const QueryGraph& query, const GraphSchema& schema,
+TcmEngine::TcmEngine(const QueryGraph& query, const TemporalGraph& graph,
                      TcmConfig config)
     : query_(query),
       dag_q_(config.use_best_dag ? QueryDag::BuildBestDag(query_)
                                  : QueryDag::BuildDagGreedy(query_, 0)),
       dag_r_(dag_q_.Reversed()),
       config_(config),
-      g_(schema.directed),
+      g_(graph),
       dcs_(&query_, &dag_q_) {  // DCS is built over the forward DAG (SymBi)
   TCSM_CHECK(query_.Validate().ok());
-  TCSM_CHECK(query_.directed() == schema.directed);
-  g_.EnsureVertices(schema.vertex_labels.size());
-  for (size_t v = 0; v < schema.vertex_labels.size(); ++v) {
-    g_.SetVertexLabel(static_cast<VertexId>(v), schema.vertex_labels[v]);
-  }
+  TCSM_CHECK(query_.directed() == g_.directed());
   if (config_.use_tc_filter) {
     filter_q_ = std::make_unique<MaxMinIndex>(&g_, &dag_q_);
     if (config_.use_reverse_filter) {
@@ -51,6 +47,15 @@ TcmEngine::TcmEngine(const QueryGraph& query, const GraphSchema& schema,
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
   emap_.assign(query_.NumEdges(), kInvalidEdge);
   ets_.assign(query_.NumEdges(), 0);
+  for (EdgeId qe = 0; qe < query_.NumEdges(); ++qe) {
+    const QueryEdge& q = query_.Edge(qe);
+    const std::array<Label, 3> sig{q.elabel, query_.VertexLabel(q.u),
+                                   query_.VertexLabel(q.v)};
+    if (std::find(feasible_sigs_.begin(), feasible_sigs_.end(), sig) ==
+        feasible_sigs_.end()) {
+      feasible_sigs_.push_back(sig);
+    }
+  }
 }
 
 std::string TcmEngine::name() const {
@@ -62,22 +67,40 @@ std::string TcmEngine::name() const {
   return "TCM";
 }
 
-void TcmEngine::OnEdgeArrival(const TemporalEdge& ed_in) {
-  const EdgeId id =
-      g_.InsertEdge(ed_in.src, ed_in.dst, ed_in.ts, ed_in.label);
-  TCSM_CHECK(id == ed_in.id && "edge ids must be dense arrival indices");
-  const TemporalEdge ed = g_.Edge(id);
+bool TcmEngine::Relevant(const TemporalEdge& ed) const {
+  // Equivalent to "exists (qe, flip) with StaticFeasible(qe, ed, flip)",
+  // but one pass over the deduplicated query-edge label signatures.
+  const Label ls = g_.VertexLabel(ed.src);
+  const Label ld = g_.VertexLabel(ed.dst);
+  const bool undirected = !query_.directed();
+  for (const auto& sig : feasible_sigs_) {
+    if (sig[0] != ed.label) continue;
+    if (sig[1] == ls && sig[2] == ld) return true;
+    if (undirected && sig[1] == ld && sig[2] == ls) return true;
+  }
+  return false;
+}
+
+void TcmEngine::OnEdgeInserted(const TemporalEdge& ed) {
+  // A statically infeasible edge cannot dirty a filter entry, enter the
+  // DCS, or seed a match, so the whole event is a no-op for this query.
+  // In multi-query deployments most events are irrelevant to most
+  // patterns; this keeps per-engine work proportional to relevance while
+  // the shared graph update stays O(1) per event.
+  if (!Relevant(ed)) return;
   UpdateStructures(ed, /*inserting=*/true);
   FindMatches(ed, MatchKind::kOccurred);
 }
 
-void TcmEngine::OnEdgeExpiry(const TemporalEdge& ed_in) {
-  TCSM_CHECK(ed_in.id < g_.NumEdgesEver() && g_.Alive(ed_in.id));
-  const TemporalEdge ed = g_.Edge(ed_in.id);
+void TcmEngine::OnEdgeExpiring(const TemporalEdge& ed) {
   // Expiring embeddings are those containing `ed`; enumerate them against
-  // the pre-deletion state, then update the structures.
+  // the pre-deletion state. Index updates follow in OnEdgeRemoved.
+  if (!Relevant(ed)) return;
   FindMatches(ed, MatchKind::kExpired);
-  g_.RemoveEdge(ed.id);
+}
+
+void TcmEngine::OnEdgeRemoved(const TemporalEdge& ed) {
+  if (!Relevant(ed)) return;
   UpdateStructures(ed, /*inserting=*/false);
 }
 
@@ -389,7 +412,8 @@ void TcmEngine::ExpandGroups(size_t group_idx, Embedding* embedding) {
 }
 
 size_t TcmEngine::EstimateMemoryBytes() const {
-  size_t bytes = g_.EstimateMemoryBytes() + dcs_.EstimateMemoryBytes();
+  // Per-query state only; the shared graph is accounted by the context.
+  size_t bytes = dcs_.EstimateMemoryBytes();
   if (filter_q_ != nullptr) bytes += filter_q_->EstimateMemoryBytes();
   if (filter_r_ != nullptr) bytes += filter_r_->EstimateMemoryBytes();
   return bytes;

@@ -1,11 +1,12 @@
 // TCM — the paper's algorithm (Algorithm 1 + Algorithm 4).
 //
-// Per event the engine (i) updates its windowed graph, (ii) updates the
-// max-min timestamp indexes for q̂ and q̂⁻¹ (TCMInsertion/TCMDeletion),
-// (iii) diffs TC-matchable-edge verdicts into DCS edge inserts/removals
-// (E±_DCS), and (iv) backtracks from the update edge to enumerate every
-// occurred/expired time-constrained embedding, applying the three
-// time-constrained pruning techniques of Section V:
+// The engine is a read-only view over the SharedStreamContext's windowed
+// graph. Per event it (i) updates the max-min timestamp indexes for q̂ and
+// q̂⁻¹ (TCMInsertion/TCMDeletion), (ii) diffs TC-matchable-edge verdicts
+// into DCS edge inserts/removals (E±_DCS), and (iii) backtracks from the
+// update edge to enumerate every occurred/expired time-constrained
+// embedding, applying the three time-constrained pruning techniques of
+// Section V:
 //
 //   1. R⁻_M(e) = ∅      — all parallel candidates lead to identical search
 //                         trees; explore one and multiply (or expand) the
@@ -18,12 +19,14 @@
 //                         remaining candidates of e.
 //
 // Expirations are matched against the pre-deletion state (the expiring
-// embeddings are exactly those containing the expiring edge), then the
-// structures are updated; see DESIGN.md §3 for why this deviates from the
-// literal order of Algorithm 1.
+// embeddings are exactly those containing the expiring edge) in
+// OnEdgeExpiring, then the structures are updated in OnEdgeRemoved after
+// the context deleted the edge; see DESIGN.md §3 for why this deviates
+// from the literal order of Algorithm 1.
 #ifndef TCSM_CORE_TCM_ENGINE_H_
 #define TCSM_CORE_TCM_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -59,15 +62,19 @@ struct TcmConfig {
 
 class TcmEngine : public ContinuousEngine {
  public:
-  TcmEngine(const QueryGraph& query, const GraphSchema& schema,
+  /// `graph` is the context-owned shared graph; it must outlive the
+  /// engine, carry the data vertex set with its labels, and match the
+  /// query's directedness.
+  TcmEngine(const QueryGraph& query, const TemporalGraph& graph,
             TcmConfig config = {});
 
   TcmEngine(const TcmEngine&) = delete;
   TcmEngine& operator=(const TcmEngine&) = delete;
 
   std::string name() const override;
-  void OnEdgeArrival(const TemporalEdge& ed) override;
-  void OnEdgeExpiry(const TemporalEdge& ed) override;
+  void OnEdgeInserted(const TemporalEdge& ed) override;
+  void OnEdgeExpiring(const TemporalEdge& ed) override;
+  void OnEdgeRemoved(const TemporalEdge& ed) override;
   size_t EstimateMemoryBytes() const override;
 
   const DcsIndex& dcs() const { return dcs_; }
@@ -86,6 +93,11 @@ class TcmEngine : public ContinuousEngine {
     EdgeId qe;
     std::vector<ParallelEdge> alternatives;  // excluding the chosen edge
   };
+
+  /// True when some (query edge, orientation) pair is statically feasible
+  /// for `ed`; statically infeasible events are complete no-ops. Tested
+  /// against the precomputed label signatures of the query edges.
+  bool Relevant(const TemporalEdge& ed) const;
 
   /// Recomputes filter verdicts affected by the update and applies the
   /// resulting DCS edge delta (E±_DCS of Algorithm 1).
@@ -124,7 +136,9 @@ class TcmEngine : public ContinuousEngine {
   QueryDag dag_q_;
   QueryDag dag_r_;
   TcmConfig config_;
-  TemporalGraph g_;
+  const TemporalGraph& g_;  // shared, owned by the stream context
+  /// (edge label, label(u), label(v)) per query edge, for Relevant().
+  std::vector<std::array<Label, 3>> feasible_sigs_;
   std::unique_ptr<MaxMinIndex> filter_q_;
   std::unique_ptr<MaxMinIndex> filter_r_;
   DcsIndex dcs_;

@@ -40,22 +40,24 @@ EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
 void TemporalGraph::RemoveEdge(EdgeId id) {
   TCSM_CHECK(id < edges_.size() && alive_[id]);
   const TemporalEdge& e = edges_[id];
-  auto erase_from = [&](VertexId v) {
+  auto erase_from = [&](VertexId v) -> bool {
     auto& dq = adj_[v];
     if (!dq.empty() && dq.front().edge == id) {
       dq.pop_front();
-      return;
+      return true;  // FIFO fast path
     }
     for (auto it = dq.begin(); it != dq.end(); ++it) {
       if (it->edge == id) {
         dq.erase(it);
-        return;
+        return false;
       }
     }
     TCSM_CHECK(false && "edge missing from adjacency");
+    return false;
   };
-  erase_from(e.src);
-  if (e.dst != e.src) erase_from(e.dst);
+  bool fifo = erase_from(e.src);
+  if (e.dst != e.src) fifo = erase_from(e.dst) && fifo;
+  if (!fifo) ++non_fifo_removals_;
   alive_[id] = 0;
   --num_alive_;
 }
@@ -72,6 +74,7 @@ void TemporalGraph::ClearEdges() {
   edges_.clear();
   alive_.clear();
   num_alive_ = 0;
+  non_fifo_removals_ = 0;
   for (auto& dq : adj_) dq.clear();
 }
 

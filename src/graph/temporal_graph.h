@@ -45,8 +45,14 @@ class TemporalGraph {
 
   /// Removes a live edge (expiration event). O(1) when edges expire in
   /// FIFO order, which the stream driver guarantees; falls back to a linear
-  /// scan otherwise so tests may remove arbitrary edges.
+  /// scan otherwise so tests may remove arbitrary edges. Every removal that
+  /// needed the scan is counted in non_fifo_removals() so accidental O(n)
+  /// expiry paths stay visible in bench output.
   void RemoveEdge(EdgeId id);
+
+  /// Number of RemoveEdge calls that fell back to the linear adjacency
+  /// scan (the removed edge was not at the front of every endpoint deque).
+  uint64_t non_fifo_removals() const { return non_fifo_removals_; }
 
   size_t NumVertices() const { return vertex_labels_.size(); }
   size_t NumEdgesEver() const { return edges_.size(); }
@@ -70,6 +76,7 @@ class TemporalGraph {
  private:
   bool directed_;
   size_t num_alive_ = 0;
+  uint64_t non_fifo_removals_ = 0;
   std::vector<Label> vertex_labels_;
   std::vector<TemporalEdge> edges_;   // all edges ever inserted
   std::vector<uint8_t> alive_;        // parallel to edges_

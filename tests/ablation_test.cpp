@@ -46,8 +46,8 @@ TEST_P(AblationProperty, AllConfigurationsMatchOracle) {
       TcmConfig config;
       config.use_reverse_filter = reverse;
       config.use_best_dag = best_dag;
-      TcmEngine engine(q, schema, config);
-      testlib::CheckEngineAgainstOracle(ds, q, 40, &engine);
+      SingleQueryContext<TcmEngine> run(q, schema, config);
+      testlib::CheckEngineAgainstOracle(ds, q, 40, &run);
       if (HasFailure()) {
         ADD_FAILURE() << "reverse=" << reverse << " best_dag=" << best_dag;
         return;
@@ -69,12 +69,15 @@ TEST(Ablation, ReverseFilterNeverEnlargesDcs) {
   TcmConfig both;
   TcmConfig fwd_only;
   fwd_only.use_reverse_filter = false;
-  TcmEngine with(q, testlib::RunningExampleSchema(), both);
-  TcmEngine without(q, testlib::RunningExampleSchema(), fwd_only);
+  SingleQueryContext<TcmEngine> with(q, testlib::RunningExampleSchema(),
+                                     both);
+  SingleQueryContext<TcmEngine> without(q, testlib::RunningExampleSchema(),
+                                        fwd_only);
   for (const TemporalEdge& e : ds.edges) {
     with.OnEdgeArrival(e);
     without.OnEdgeArrival(e);
-    ASSERT_LE(with.dcs().stats().num_edges, without.dcs().stats().num_edges);
+    ASSERT_LE(with.engine().dcs().stats().num_edges,
+              without.engine().dcs().stats().num_edges);
   }
 }
 

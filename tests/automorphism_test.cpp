@@ -107,11 +107,11 @@ TEST(CanonicalSink, CollapsesZombiePermutations) {
   CanonicalSink canonical(q, &inner);
   EXPECT_EQ(canonical.GroupSize(), 2u);
 
-  TcmEngine engine(q, GraphSchema{true, ds.vertex_labels});
-  engine.set_sink(&canonical);
+  SingleQueryContext<TcmEngine> run(q, GraphSchema{true, ds.vertex_labels});
+  run.engine().set_sink(&canonical);
   StreamConfig config;
   config.window = 100;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
   // Engine counters see both mappings; the inner sink sees one instance
   // occurring and one expiring.
@@ -132,12 +132,12 @@ TEST(CanonicalSink, IdentityGroupForwardsEverything) {
   CanonicalSink canonical(q, &inner);
   EXPECT_EQ(canonical.GroupSize(), 1u);
 
-  TcmEngine engine(q, testlib::RunningExampleSchema());
-  engine.set_sink(&canonical);
+  SingleQueryContext<TcmEngine> run(q, testlib::RunningExampleSchema());
+  run.engine().set_sink(&canonical);
   StreamConfig config;
   config.window = 10;
   const StreamResult res =
-      RunStream(testlib::RunningExampleDataset(), config, &engine);
+      RunStream(testlib::RunningExampleDataset(), config, &run);
   ASSERT_TRUE(res.completed);
   EXPECT_EQ(inner.matches().size(), res.occurred + res.expired);
 }

@@ -14,8 +14,9 @@ TEST(PostFilterEngine, MatchesOracleOnRunningExample) {
   const QueryGraph q = testlib::RunningExampleQuery();
   const TemporalDataset ds = testlib::RunningExampleDataset();
   for (const Timestamp window : {5, 10, 100}) {
-    PostFilterEngine engine(q, testlib::RunningExampleSchema());
-    testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    SingleQueryContext<PostFilterEngine> run(q,
+                                             testlib::RunningExampleSchema());
+    testlib::CheckEngineAgainstOracle(ds, q, window, &run);
     if (HasFailure()) return;
   }
 }
@@ -24,8 +25,9 @@ TEST(LocalEnumEngine, MatchesOracleOnRunningExample) {
   const QueryGraph q = testlib::RunningExampleQuery();
   const TemporalDataset ds = testlib::RunningExampleDataset();
   for (const Timestamp window : {5, 10, 100}) {
-    LocalEnumEngine engine(q, testlib::RunningExampleSchema());
-    testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    SingleQueryContext<LocalEnumEngine> run(q,
+                                            testlib::RunningExampleSchema());
+    testlib::CheckEngineAgainstOracle(ds, q, window, &run);
     if (HasFailure()) return;
   }
 }
@@ -34,45 +36,46 @@ TEST(TimingEngine, MatchesOracleOnRunningExample) {
   const QueryGraph q = testlib::RunningExampleQuery();
   const TemporalDataset ds = testlib::RunningExampleDataset();
   for (const Timestamp window : {5, 10, 100}) {
-    TimingEngine engine(q, testlib::RunningExampleSchema());
-    testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    SingleQueryContext<TimingEngine> run(q, testlib::RunningExampleSchema());
+    testlib::CheckEngineAgainstOracle(ds, q, window, &run);
     if (HasFailure()) return;
   }
 }
 
 TEST(TimingEngine, MaterializesPartialEmbeddings) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TimingEngine engine(q, testlib::RunningExampleSchema());
+  SingleQueryContext<TimingEngine> run(q, testlib::RunningExampleSchema());
   const TemporalDataset ds = testlib::RunningExampleDataset();
-  for (const TemporalEdge& e : ds.edges) engine.OnEdgeArrival(e);
+  for (const TemporalEdge& e : ds.edges) run.OnEdgeArrival(e);
   // Materialized prefixes exist at every level (exponential-space design).
-  EXPECT_GT(engine.NumRecords(), 16u);
-  const size_t with_all = engine.NumRecords();
+  EXPECT_GT(run.engine().NumRecords(), 16u);
+  const size_t with_all = run.engine().NumRecords();
   // Expire sigma_1..sigma_4: records referencing them disappear.
-  for (size_t i = 0; i < 4; ++i) engine.OnEdgeExpiry(ds.edges[i]);
-  EXPECT_LT(engine.NumRecords(), with_all);
+  for (size_t i = 0; i < 4; ++i) run.OnEdgeExpiry(ds.edges[i]);
+  EXPECT_LT(run.engine().NumRecords(), with_all);
 }
 
 TEST(TimingEngine, OverflowCapMarksIncomplete) {
   const QueryGraph q = testlib::RunningExampleQuery();
   TimingConfig config;
   config.max_records = 8;  // absurdly small
-  TimingEngine engine(q, testlib::RunningExampleSchema(), config);
+  SingleQueryContext<TimingEngine> run(q, testlib::RunningExampleSchema(),
+                                       config);
   const TemporalDataset ds = testlib::RunningExampleDataset();
   for (const TemporalEdge& e : ds.edges) {
-    engine.OnEdgeArrival(e);
-    if (engine.overflowed()) break;
+    run.OnEdgeArrival(e);
+    if (run.overflowed()) break;
   }
-  EXPECT_TRUE(engine.overflowed());
+  EXPECT_TRUE(run.overflowed());
 }
 
 TEST(TimingEngine, MemoryGrowsWithMaterialization) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TimingEngine engine(q, testlib::RunningExampleSchema());
-  const size_t before = engine.EstimateMemoryBytes();
+  SingleQueryContext<TimingEngine> run(q, testlib::RunningExampleSchema());
+  const size_t before = run.engine().EstimateMemoryBytes();
   const TemporalDataset ds = testlib::RunningExampleDataset();
-  for (const TemporalEdge& e : ds.edges) engine.OnEdgeArrival(e);
-  EXPECT_GT(engine.EstimateMemoryBytes(), before);
+  for (const TemporalEdge& e : ds.edges) run.OnEdgeArrival(e);
+  EXPECT_GT(run.engine().EstimateMemoryBytes(), before);
 }
 
 TEST(Baselines, DensityInsensitiveBaselinesStillCorrect) {
@@ -105,20 +108,26 @@ TEST(Baselines, DensityInsensitiveBaselinesStillCorrect) {
   add(3, 2, 5);  // second wedge, but c image (ts 3) now violates b < c
 
   const GraphSchema schema{false, ds.vertex_labels};
-  PostFilterEngine pf(q, schema);
-  testlib::CheckEngineAgainstOracle(ds, q, 100, &pf);
-  LocalEnumEngine le(q, schema);
-  testlib::CheckEngineAgainstOracle(ds, q, 100, &le);
-  TimingEngine tm(q, schema);
-  testlib::CheckEngineAgainstOracle(ds, q, 100, &tm);
+  {
+    SingleQueryContext<PostFilterEngine> run(q, schema);
+    testlib::CheckEngineAgainstOracle(ds, q, 100, &run);
+  }
+  {
+    SingleQueryContext<LocalEnumEngine> run(q, schema);
+    testlib::CheckEngineAgainstOracle(ds, q, 100, &run);
+  }
+  {
+    SingleQueryContext<TimingEngine> run(q, schema);
+    testlib::CheckEngineAgainstOracle(ds, q, 100, &run);
+  }
 }
 
 TEST(Baselines, NamesAreStable) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  const GraphSchema schema = testlib::RunningExampleSchema();
-  EXPECT_EQ(PostFilterEngine(q, schema).name(), "SymBi-Post");
-  EXPECT_EQ(LocalEnumEngine(q, schema).name(), "LocalEnum-Post");
-  EXPECT_EQ(TimingEngine(q, schema).name(), "Timing");
+  SharedStreamContext ctx(testlib::RunningExampleSchema());
+  EXPECT_EQ(PostFilterEngine(q, ctx.graph()).name(), "SymBi-Post");
+  EXPECT_EQ(LocalEnumEngine(q, ctx.graph()).name(), "LocalEnum-Post");
+  EXPECT_EQ(TimingEngine(q, ctx.graph()).name(), "Timing");
 }
 
 }  // namespace

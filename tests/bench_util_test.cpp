@@ -76,11 +76,12 @@ TEST(Engines, FactoryProducesAllKinds) {
   q.AddVertex(0);
   q.AddEdge(0, 1);
   const GraphSchema schema{false, {0, 0, 0}};
+  SharedStreamContext ctx(schema);
   for (const EngineKind kind :
        {EngineKind::kTcm, EngineKind::kTcmPruning, EngineKind::kTcmNoFilter,
         EngineKind::kSymbiPost, EngineKind::kLocalEnum,
         EngineKind::kTiming}) {
-    auto engine = MakeEngine(kind, q, schema);
+    auto engine = MakeEngine(kind, q, ctx.graph());
     ASSERT_NE(engine, nullptr);
     EXPECT_FALSE(engine->name().empty());
     EXPECT_STRNE(EngineKindName(kind), "?");

@@ -104,6 +104,27 @@ TEST(TemporalDataset, StatsMatchRunningExample) {
   EXPECT_NEAR(s.window_unit, 1.0, 1e-9);
 }
 
+TEST(TemporalGraph, CountsNonFifoRemovals) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const EdgeId a = g.InsertEdge(0, 1, 1);
+  const EdgeId b = g.InsertEdge(0, 1, 2);
+  const EdgeId c = g.InsertEdge(1, 2, 3);
+  EXPECT_EQ(g.non_fifo_removals(), 0u);
+  // b sits behind a in both endpoint deques: linear-scan fallback.
+  g.RemoveEdge(b);
+  EXPECT_EQ(g.non_fifo_removals(), 1u);
+  // a and c are now at the front of every deque: FIFO fast path.
+  g.RemoveEdge(a);
+  g.RemoveEdge(c);
+  EXPECT_EQ(g.non_fifo_removals(), 1u);
+  // ClearEdges resets the per-run stat.
+  g.ClearEdges();
+  EXPECT_EQ(g.non_fifo_removals(), 0u);
+}
+
 TEST(TemporalDataset, RankTimestampsProducesDenseRanks) {
   TemporalDataset ds;
   ds.vertex_labels = {0, 0};

@@ -40,15 +40,14 @@ TEST(Guards, RemoveDeadEdgeRejected) {
   EXPECT_DEATH(g.RemoveEdge(e), "");
 }
 
-TEST(Guards, EngineRequiresDenseArrivalIds) {
-  const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
+TEST(Guards, ContextRequiresDenseArrivalIds) {
+  SharedStreamContext ctx(testlib::RunningExampleSchema());
   TemporalEdge e;
   e.id = 5;  // first arrival must have id 0
   e.src = testlib::kV1;
   e.dst = testlib::kV2;
   e.ts = 1;
-  EXPECT_DEATH(engine.OnEdgeArrival(e), "dense arrival");
+  EXPECT_DEATH(ctx.OnEdgeArrival(e), "dense arrival");
 }
 
 TEST(Guards, EngineRejectsDisconnectedQuery) {
@@ -59,7 +58,17 @@ TEST(Guards, EngineRejectsDisconnectedQuery) {
   q.AddVertex(0);
   q.AddEdge(0, 1);
   q.AddEdge(2, 3);
-  EXPECT_DEATH(TcmEngine(q, testlib::RunningExampleSchema()), "connected");
+  SharedStreamContext ctx(testlib::RunningExampleSchema());
+  EXPECT_DEATH(TcmEngine(q, ctx.graph()), "connected");
+}
+
+TEST(Guards, EngineRejectsDirectednessMismatch) {
+  QueryGraph q(/*directed=*/true);
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddEdge(0, 1);
+  SharedStreamContext ctx(testlib::RunningExampleSchema());  // undirected
+  EXPECT_DEATH(TcmEngine(q, ctx.graph()), "directed");
 }
 
 // Star pattern with symmetric branches (the DDoS shape): engines report
@@ -95,9 +104,9 @@ TEST(StarPattern, SymmetricBranchesCountMappings) {
   add(2, 1, 3);
   add(3, 1, 4);
 
-  TcmEngine engine(q, GraphSchema{true, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(q, GraphSchema{true, ds.vertex_labels});
   const uint64_t occurred =
-      testlib::CheckEngineAgainstOracle(ds, q, 100, &engine);
+      testlib::CheckEngineAgainstOracle(ds, q, 100, &run);
   // Two zombie assignments (z1,z2) -> (2,3) or (3,2).
   EXPECT_EQ(occurred, 2u);
 }

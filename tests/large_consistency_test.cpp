@@ -47,19 +47,19 @@ TEST_P(LargeConsistency, AllEnginesAgreeOnCounts) {
   if (!GenerateQuery(ds, opt, &rng, &q)) GTEST_SKIP();
   const GraphSchema schema{ds.directed, ds.vertex_labels};
 
-  auto run = [&](ContinuousEngine* engine) -> std::pair<uint64_t, uint64_t> {
+  auto run = [&](auto* rig) -> std::pair<uint64_t, uint64_t> {
     CountingSink sink;
-    engine->set_sink(&sink);
+    rig->engine().set_sink(&sink);
     StreamConfig config;
     config.window = window;
-    const StreamResult res = RunStream(ds, config, engine);
+    const StreamResult res = RunStream(ds, config, rig);
     EXPECT_TRUE(res.completed);
     return {res.occurred, res.expired};
   };
 
-  TcmEngine reference(q, schema);
+  SingleQueryContext<TcmEngine> reference(q, schema);
   const auto expect = run(&reference);
-  reference.dcs().ValidateInvariantsForTest();
+  reference.engine().dcs().ValidateInvariantsForTest();
   // Every match eventually expires once the stream drains.
   EXPECT_EQ(expect.first, expect.second);
 
@@ -68,38 +68,38 @@ TEST_P(LargeConsistency, AllEnginesAgreeOnCounts) {
     c.prune_no_relation = false;
     c.prune_uniform = false;
     c.prune_failing_set = false;
-    TcmEngine e(q, schema, c);
+    SingleQueryContext<TcmEngine> e(q, schema, c);
     EXPECT_EQ(run(&e), expect) << "TCM-Pruning";
   }
   {
     TcmConfig c;
     c.use_tc_filter = false;
-    TcmEngine e(q, schema, c);
+    SingleQueryContext<TcmEngine> e(q, schema, c);
     EXPECT_EQ(run(&e), expect) << "TCM-NoFilter";
-    e.dcs().ValidateInvariantsForTest();
+    e.engine().dcs().ValidateInvariantsForTest();
   }
   {
     TcmConfig c;
     c.use_reverse_filter = false;
-    TcmEngine e(q, schema, c);
+    SingleQueryContext<TcmEngine> e(q, schema, c);
     EXPECT_EQ(run(&e), expect) << "forward-filter-only";
   }
   {
     TcmConfig c;
     c.use_best_dag = false;
-    TcmEngine e(q, schema, c);
+    SingleQueryContext<TcmEngine> e(q, schema, c);
     EXPECT_EQ(run(&e), expect) << "fixed-dag-root";
   }
   {
-    PostFilterEngine e(q, schema);
+    SingleQueryContext<PostFilterEngine> e(q, schema);
     EXPECT_EQ(run(&e), expect) << "SymBi-Post";
   }
   {
-    LocalEnumEngine e(q, schema);
+    SingleQueryContext<LocalEnumEngine> e(q, schema);
     EXPECT_EQ(run(&e), expect) << "LocalEnum";
   }
   {
-    TimingEngine e(q, schema);
+    SingleQueryContext<TimingEngine> e(q, schema);
     EXPECT_EQ(run(&e), expect) << "Timing";
     EXPECT_FALSE(e.overflowed());
   }
@@ -130,18 +130,19 @@ TEST(LargeConsistency, PhaseCountersPopulated) {
   Rng rng(5);
   QueryGraph q;
   ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
-  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(q,
+                                    GraphSchema{ds.directed, ds.vertex_labels});
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 300;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
-  EXPECT_GT(engine.counters().update_ns, 0u);
-  EXPECT_GT(engine.counters().search_ns, 0u);
+  EXPECT_GT(run.engine().counters().update_ns, 0u);
+  EXPECT_GT(run.engine().counters().search_ns, 0u);
   const double accounted_ms =
-      static_cast<double>(engine.counters().update_ns +
-                          engine.counters().search_ns) /
+      static_cast<double>(run.engine().counters().update_ns +
+                          run.engine().counters().search_ns) /
       1e6;
   EXPECT_LE(accounted_ms, res.elapsed_ms * 1.5 + 5);
 }

@@ -67,14 +67,41 @@ TEST(MultiQueryEngine, MatchesSingleEngineResults) {
   EXPECT_EQ(sink.occurred[1], 6u);
 }
 
+TEST(MultiQueryEngine, SharesOneGraphAcrossQueries) {
+  // Every per-query engine is a view of the one context-owned graph.
+  std::vector<QueryGraph> queries(16, testlib::RunningExampleQuery());
+  MultiQueryEngine multi(queries, testlib::RunningExampleSchema());
+  for (size_t i = 0; i < multi.NumQueries(); ++i) {
+    EXPECT_EQ(&multi.QueryEngine(i).graph(), &multi.graph());
+  }
+}
+
 TEST(MultiQueryEngine, MemoryAggregates) {
+  // Shared-graph accounting: N queries cost one graph plus N index states,
+  // so the footprint must grow sub-linearly in N — with identical queries,
+  // exactly 15 graph copies cheaper than the per-engine-copy baseline.
   std::vector<QueryGraph> one{testlib::RunningExampleQuery()};
-  std::vector<QueryGraph> three{testlib::RunningExampleQuery(),
-                                testlib::RunningExampleQuery(),
-                                testlib::RunningExampleQuery()};
+  std::vector<QueryGraph> sixteen(16, testlib::RunningExampleQuery());
   MultiQueryEngine small(one, testlib::RunningExampleSchema());
-  MultiQueryEngine big(three, testlib::RunningExampleSchema());
-  EXPECT_LT(small.EstimateMemoryBytes(), big.EstimateMemoryBytes());
+  MultiQueryEngine big(sixteen, testlib::RunningExampleSchema());
+
+  // Fill the window so the graph holds live edges.
+  const TemporalDataset ds = testlib::RunningExampleDataset();
+  for (const TemporalEdge& e : ds.edges) {
+    small.OnEdgeArrival(e);
+    big.OnEdgeArrival(e);
+  }
+
+  const size_t mem1 = small.EstimateMemoryBytes();
+  const size_t mem16 = big.EstimateMemoryBytes();
+  const size_t graph_bytes = big.graph().EstimateMemoryBytes();
+  ASSERT_GT(graph_bytes, 0u);
+  EXPECT_GT(mem16, mem1);
+  EXPECT_LT(mem16, 16 * mem1);  // sub-linear growth
+  // Identical queries build identical per-query indexes, so the only
+  // difference from 16 independent copies is the 15 elided graphs.
+  // (Written addition-only so a regression can't wrap the unsigned math.)
+  EXPECT_EQ(mem16 + 15 * graph_bytes, 16 * mem1);
 }
 
 }  // namespace

@@ -21,12 +21,13 @@ using testlib::EmbeddingSet;
 EmbeddingSet RunAndCollect(const QueryGraph& q, const TemporalDataset& ds,
                            Timestamp window, const TcmConfig& config,
                            uint64_t* occurred_count) {
-  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels}, config);
+  SingleQueryContext<TcmEngine> run(
+      q, GraphSchema{ds.directed, ds.vertex_labels}, config);
   CollectingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig stream;
   stream.window = window;
-  const StreamResult res = RunStream(ds, stream, &engine);
+  const StreamResult res = RunStream(ds, stream, &run);
   EXPECT_TRUE(res.completed);
   *occurred_count = res.occurred;
   EmbeddingSet occurred;
@@ -145,15 +146,17 @@ TEST(Pruning, FreeGroupExpansionCountsParallelEdges) {
   StreamConfig stream;
   stream.window = 100;
 
-  TcmEngine counting_engine(q, GraphSchema{false, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> counting_run(
+      q, GraphSchema{false, ds.vertex_labels});
   CountingSink counting;
-  counting_engine.set_sink(&counting);
-  const StreamResult r1 = RunStream(ds, stream, &counting_engine);
+  counting_run.engine().set_sink(&counting);
+  const StreamResult r1 = RunStream(ds, stream, &counting_run);
 
-  TcmEngine collecting_engine(q, GraphSchema{false, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> collecting_run(
+      q, GraphSchema{false, ds.vertex_labels});
   CollectingSink collecting;
-  collecting_engine.set_sink(&collecting);
-  const StreamResult r2 = RunStream(ds, stream, &collecting_engine);
+  collecting_run.engine().set_sink(&collecting);
+  const StreamResult r2 = RunStream(ds, stream, &collecting_run);
 
   ASSERT_TRUE(r1.completed && r2.completed);
   EXPECT_EQ(r1.occurred, 5u);
@@ -186,19 +189,22 @@ TEST(Pruning, PrunedSearchVisitsNoMoreNodes) {
 
   StreamConfig stream;
   stream.window = 80;
-  TcmEngine pruned(q, GraphSchema{false, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> pruned(q,
+                                       GraphSchema{false, ds.vertex_labels});
   CountingSink s1;
-  pruned.set_sink(&s1);
+  pruned.engine().set_sink(&s1);
   RunStream(ds, stream, &pruned);
 
   TcmConfig off;
   off.prune_no_relation = off.prune_uniform = off.prune_failing_set = false;
-  TcmEngine unpruned(q, GraphSchema{false, ds.vertex_labels}, off);
+  SingleQueryContext<TcmEngine> unpruned(
+      q, GraphSchema{false, ds.vertex_labels}, off);
   CountingSink s2;
-  unpruned.set_sink(&s2);
+  unpruned.engine().set_sink(&s2);
   RunStream(ds, stream, &unpruned);
 
-  EXPECT_LE(pruned.counters().search_nodes, unpruned.counters().search_nodes);
+  EXPECT_LE(pruned.engine().counters().search_nodes,
+            unpruned.engine().counters().search_nodes);
   EXPECT_EQ(s1.occurred(), s2.occurred());
   EXPECT_EQ(s1.expired(), s2.expired());
 }

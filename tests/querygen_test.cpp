@@ -95,12 +95,13 @@ TEST(QueryGen, WitnessEmbeddingOccursInStream) {
   QueryGraph q;
   ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
 
-  TcmEngine engine(q, GraphSchema{ds.directed, ds.vertex_labels});
+  SingleQueryContext<TcmEngine> run(q,
+                                    GraphSchema{ds.directed, ds.vertex_labels});
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 150;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
   EXPECT_GT(res.occurred, 0u);
 }

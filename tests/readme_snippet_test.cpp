@@ -21,9 +21,12 @@ TEST(ReadmeSnippet, DirectedOrderedTriangle) {
   ASSERT_TRUE(query.AddOrder(t1, t2).ok());  // t1 < t2
   ASSERT_TRUE(query.AddOrder(t2, t3).ok());  // t2 < t3
 
-  // 2. An engine bound to the data graph's (fixed) vertex set.
+  // 2. A stream context owning the shared sliding-window graph, with one
+  //    TCM engine attached as a read-only view.
   const std::vector<Label> vertex_labels(5, 0);
-  TcmEngine engine(query, GraphSchema{/*directed=*/true, vertex_labels});
+  SharedStreamContext stream(GraphSchema{/*directed=*/true, vertex_labels});
+  TcmEngine engine(query, stream.graph());
+  stream.Attach(&engine);
   CollectingSink sink;
   engine.set_sink(&sink);
 
@@ -47,7 +50,7 @@ TEST(ReadmeSnippet, DirectedOrderedTriangle) {
 
   StreamConfig config;
   config.window = 800;
-  StreamResult result = RunStream(dataset, config, &engine);
+  StreamResult result = RunStream(dataset, config, &stream);
 
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.occurred, 1u);

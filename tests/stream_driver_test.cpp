@@ -7,7 +7,7 @@
 namespace tcsm {
 namespace {
 
-/// Records the exact event sequence an engine observes.
+/// Records the exact event sequence an engine observes from the context.
 class RecordingEngine : public ContinuousEngine {
  public:
   struct Event {
@@ -16,10 +16,10 @@ class RecordingEngine : public ContinuousEngine {
   };
 
   std::string name() const override { return "recorder"; }
-  void OnEdgeArrival(const TemporalEdge& ed) override {
+  void OnEdgeInserted(const TemporalEdge& ed) override {
     events.push_back(Event{true, ed.id});
   }
-  void OnEdgeExpiry(const TemporalEdge& ed) override {
+  void OnEdgeExpiring(const TemporalEdge& ed) override {
     events.push_back(Event{false, ed.id});
   }
   size_t EstimateMemoryBytes() const override { return 128; }
@@ -41,13 +41,17 @@ TemporalDataset ThreeEdges() {
   return ds;
 }
 
+GraphSchema TwoVertexSchema() { return GraphSchema{false, {0, 0}}; }
+
 TEST(StreamDriver, ExpirationsBeforeArrivalsOnTies) {
   // Window 10: edge@1 expires at 11 — exactly when edge@11 arrives; the
   // expiration must be delivered first (Example II.2 semantics).
+  SharedStreamContext ctx(TwoVertexSchema());
   RecordingEngine engine;
+  ctx.Attach(&engine);
   StreamConfig config;
   config.window = 10;
-  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  const StreamResult res = RunStream(ThreeEdges(), config, &ctx);
   ASSERT_TRUE(res.completed);
   ASSERT_EQ(engine.events.size(), 6u);
   EXPECT_TRUE(engine.events[0].arrival);   // +e0 @1
@@ -60,10 +64,12 @@ TEST(StreamDriver, ExpirationsBeforeArrivalsOnTies) {
 }
 
 TEST(StreamDriver, AllEdgesEventuallyExpire) {
+  SharedStreamContext ctx(TwoVertexSchema());
   RecordingEngine engine;
+  ctx.Attach(&engine);
   StreamConfig config;
   config.window = 1000;
-  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  const StreamResult res = RunStream(ThreeEdges(), config, &ctx);
   EXPECT_EQ(res.events, 6u);
   size_t arrivals = 0;
   for (const auto& e : engine.events) arrivals += e.arrival;
@@ -71,11 +77,13 @@ TEST(StreamDriver, AllEdgesEventuallyExpire) {
 }
 
 TEST(StreamDriver, MaxArrivalsTruncates) {
+  SharedStreamContext ctx(TwoVertexSchema());
   RecordingEngine engine;
+  ctx.Attach(&engine);
   StreamConfig config;
   config.window = 1000;
   config.max_arrivals = 2;
-  const StreamResult res = RunStream(ThreeEdges(), config, &engine);
+  const StreamResult res = RunStream(ThreeEdges(), config, &ctx);
   ASSERT_TRUE(res.completed);
   EXPECT_EQ(res.events, 4u);  // 2 arrivals + their 2 expirations
   size_t arrivals = 0;
@@ -85,27 +93,78 @@ TEST(StreamDriver, MaxArrivalsTruncates) {
 
 TEST(StreamDriver, CountsMatchesFromEngineCounters) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
+  SingleQueryContext<TcmEngine> run(q, testlib::RunningExampleSchema());
   StreamConfig config;
   config.window = 10;
   // No sink attached: counters must still track matches.
-  const StreamResult res = RunStream(testlib::RunningExampleDataset(),
-                                     config, &engine);
+  const StreamResult res =
+      RunStream(testlib::RunningExampleDataset(), config, &run);
   ASSERT_TRUE(res.completed);
   EXPECT_EQ(res.occurred, 6u);
   EXPECT_EQ(res.expired, 6u);
-  EXPECT_EQ(engine.counters().occurred, 6u);
+  EXPECT_EQ(run.engine().counters().occurred, 6u);
+  // FIFO expirations never hit the linear-scan fallback.
+  EXPECT_EQ(res.non_fifo_removals, 0u);
 }
 
 TEST(StreamDriver, PeakMemorySampled) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
+  SingleQueryContext<TcmEngine> run(q, testlib::RunningExampleSchema());
   StreamConfig config;
   config.window = 10;
   config.memory_sample_every = 1;
-  const StreamResult res = RunStream(testlib::RunningExampleDataset(),
-                                     config, &engine);
+  const StreamResult res =
+      RunStream(testlib::RunningExampleDataset(), config, &run);
   EXPECT_GT(res.peak_memory_bytes, 0u);
+}
+
+TEST(SharedStreamContext, SurfacesNonFifoRemovals) {
+  // Out-of-order expiry (not produced by the stream driver, but allowed on
+  // the context) must show up in the aggregated counters.
+  SharedStreamContext ctx(GraphSchema{false, {0, 0, 0}});
+  const TemporalDataset ds = [] {
+    TemporalDataset d;
+    d.vertex_labels = {0, 0, 0};
+    const std::pair<VertexId, VertexId> ends[] = {{0, 1}, {0, 1}, {1, 2}};
+    for (size_t i = 0; i < 3; ++i) {
+      TemporalEdge e;
+      e.id = static_cast<EdgeId>(i);
+      e.src = ends[i].first;
+      e.dst = ends[i].second;
+      e.ts = static_cast<Timestamp>(i + 1);
+      d.edges.push_back(e);
+    }
+    return d;
+  }();
+  for (const TemporalEdge& e : ds.edges) ctx.OnEdgeArrival(e);
+  EXPECT_EQ(ctx.AggregateCounters().non_fifo_removals, 0u);
+  ctx.OnEdgeExpiry(ds.edges[1]);  // middle of vertex 0/1 adjacency: scan
+  EXPECT_EQ(ctx.AggregateCounters().non_fifo_removals, 1u);
+  ctx.OnEdgeExpiry(ds.edges[0]);  // now at the front everywhere: FIFO
+  ctx.OnEdgeExpiry(ds.edges[2]);
+  EXPECT_EQ(ctx.AggregateCounters().non_fifo_removals, 1u);
+}
+
+TEST(SharedStreamContext, OneGraphManyEngines) {
+  // Two engines attached to one context see the same canonical graph and
+  // the context accounts its bytes once.
+  const QueryGraph q = testlib::RunningExampleQuery();
+  SharedStreamContext ctx(testlib::RunningExampleSchema());
+  TcmEngine a(q, ctx.graph());
+  TcmEngine b(q, ctx.graph());
+  ctx.Attach(&a);
+  ctx.Attach(&b);
+  EXPECT_EQ(&a.graph(), &ctx.graph());
+  EXPECT_EQ(&b.graph(), &ctx.graph());
+
+  const TemporalDataset ds = testlib::RunningExampleDataset();
+  for (const TemporalEdge& e : ds.edges) ctx.OnEdgeArrival(e);
+  EXPECT_EQ(ctx.graph().NumAliveEdges(), ds.edges.size());
+  EXPECT_EQ(a.counters().occurred, b.counters().occurred);
+  EXPECT_EQ(ctx.AggregateCounters().occurred, 2 * a.counters().occurred);
+  EXPECT_EQ(ctx.EstimateMemoryBytes(),
+            ctx.graph().EstimateMemoryBytes() + a.EstimateMemoryBytes() +
+                b.EstimateMemoryBytes());
 }
 
 }  // namespace

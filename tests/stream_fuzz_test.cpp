@@ -3,16 +3,23 @@
 // pruning-flag ablations, the filter ablations, and the three baseline
 // engines, asserting after every event that the reported occurred/expired
 // embedding sets equal the brute-force snapshot oracle's diff
-// (tests/testlib/stream_checker.h). Any divergence reproduces from the
-// scenario name, which encodes the seed.
+// (tests/testlib/stream_checker.h). The multi-query scenario additionally
+// replays each entry through a MultiQueryEngine and diffs every tagged
+// per-query stream against an independently run single-query engine. Any
+// divergence reproduces from the scenario name, which encodes the seed.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/local_enum_engine.h"
 #include "baselines/post_filter_engine.h"
 #include "baselines/timing_engine.h"
 #include "common/rng.h"
+#include "core/multi_engine.h"
+#include "core/stream_driver.h"
 #include "core/tcm_engine.h"
 #include "datasets/synthetic.h"
 #include "querygen/query_generator.h"
@@ -45,18 +52,19 @@ class StreamFuzz : public ::testing::TestWithParam<FuzzScenario> {
     schema_ = GraphSchema{dataset_.directed, dataset_.vertex_labels};
   }
 
-  /// Replays the scenario through `engine` and records the first run's
+  /// Replays the scenario through the rig and records the first run's
   /// total occurred count as the cross-engine reference.
-  void Check(ContinuousEngine* engine) {
+  template <typename EngineT>
+  void Check(SingleQueryContext<EngineT>* run) {
     const uint64_t occurred = testlib::CheckEngineAgainstOracle(
-        dataset_, query_, GetParam().window, engine);
+        dataset_, query_, GetParam().window, run);
     if (HasFailure()) return;
     if (!have_reference_) {
       have_reference_ = true;
       reference_ = occurred;
     } else {
-      EXPECT_EQ(occurred, reference_) << engine->name()
-                                      << ": total occurred count diverged";
+      EXPECT_EQ(occurred, reference_)
+          << run->engine().name() << ": total occurred count diverged";
     }
   }
 
@@ -74,9 +82,9 @@ TEST_P(StreamFuzz, TcmPruningAblations) {
     config.prune_no_relation = (bits & 1) != 0;
     config.prune_uniform = (bits & 2) != 0;
     config.prune_failing_set = (bits & 4) != 0;
-    TcmEngine engine(query_, schema_, config);
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("pruning bits " + std::to_string(bits));
-    Check(&engine);
+    Check(&run);
     if (HasFailure()) return;
   }
 }
@@ -85,56 +93,102 @@ TEST_P(StreamFuzz, TcmPruningAblations) {
 // DCS), reverse-DAG filtering off, and greedy-root DAG selection.
 TEST_P(StreamFuzz, TcmFilterAblations) {
   {
-    TcmEngine engine(query_, schema_);
-    Check(&engine);
+    SingleQueryContext<TcmEngine> run(query_, schema_);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
     TcmConfig config;
     config.use_tc_filter = false;
-    TcmEngine engine(query_, schema_, config);
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("tc filter off");
-    Check(&engine);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
     TcmConfig config;
     config.use_reverse_filter = false;
-    TcmEngine engine(query_, schema_, config);
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("reverse filter off");
-    Check(&engine);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
     TcmConfig config;
     config.use_best_dag = false;
-    TcmEngine engine(query_, schema_, config);
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("greedy dag");
-    Check(&engine);
+    Check(&run);
   }
 }
 
 // The three competing engines must report the same per-event sets.
 TEST_P(StreamFuzz, BaselinesMatchOracle) {
   {
-    TcmEngine engine(query_, schema_);
-    Check(&engine);
+    SingleQueryContext<TcmEngine> run(query_, schema_);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
-    PostFilterEngine engine(query_, schema_);
-    Check(&engine);
+    SingleQueryContext<PostFilterEngine> run(query_, schema_);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
-    LocalEnumEngine engine(query_, schema_);
-    Check(&engine);
+    SingleQueryContext<LocalEnumEngine> run(query_, schema_);
+    Check(&run);
     if (HasFailure()) return;
   }
   {
-    TimingEngine engine(query_, schema_);
-    Check(&engine);
+    SingleQueryContext<TimingEngine> run(query_, schema_);
+    Check(&run);
   }
+}
+
+// Multi-query differential: a MultiQueryEngine over {q, q-variant} on the
+// one shared graph must emit, per query, exactly the match stream of an
+// independently run single-query TCM engine with its own context.
+TEST_P(StreamFuzz, MultiQueryMatchesSingleQueryEngines) {
+  // Variant query from an independent walk seed; if the dataset cannot
+  // yield one, duplicating the primary still exercises the fan-out.
+  QueryGraph variant;
+  Rng rng(GetParam().seed ^ 0x517cc1b727220a95ull);
+  if (!GenerateQuery(dataset_, GetParam().query, &rng, &variant)) {
+    variant = query_;
+  }
+  const std::vector<QueryGraph> queries{query_, variant};
+
+  struct TaggedStreams : MultiMatchSink {
+    std::array<std::vector<std::pair<Embedding, MatchKind>>, 2> streams;
+    void OnMatch(size_t query_index, const Embedding& embedding,
+                 MatchKind kind, uint64_t multiplicity) override {
+      ASSERT_LT(query_index, streams.size());
+      for (uint64_t i = 0; i < multiplicity; ++i) {
+        streams[query_index].emplace_back(embedding, kind);
+      }
+    }
+  } tagged;
+
+  MultiQueryEngine multi(queries, schema_);
+  multi.set_multi_sink(&tagged);
+  StreamConfig config;
+  config.window = GetParam().window;
+  const StreamResult res = RunStream(dataset_, config, &multi);
+  ASSERT_TRUE(res.completed);
+
+  uint64_t total = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    SingleQueryContext<TcmEngine> solo(queries[qi], schema_);
+    CollectingSink sink;
+    solo.engine().set_sink(&sink);
+    const StreamResult solo_res = RunStream(dataset_, config, &solo);
+    ASSERT_TRUE(solo_res.completed);
+    EXPECT_EQ(tagged.streams[qi], sink.matches())
+        << "tagged stream of query " << qi
+        << " diverged from the single-query engine";
+    total += solo_res.occurred + solo_res.expired;
+  }
+  EXPECT_EQ(res.occurred + res.expired, total);
 }
 
 INSTANTIATE_TEST_SUITE_P(Catalogue, StreamFuzz,

@@ -62,8 +62,8 @@ TEST_P(StreamEquivalence, AllEnginesMatchOracle) {
 
   uint64_t reference = 0;
   {
-    TcmEngine engine(q, schema);
-    reference = testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    SingleQueryContext<TcmEngine> run(q, schema);
+    reference = testlib::CheckEngineAgainstOracle(ds, q, window, &run);
     if (HasFailure()) return;
   }
   {
@@ -71,34 +71,34 @@ TEST_P(StreamEquivalence, AllEnginesMatchOracle) {
     config.prune_no_relation = false;
     config.prune_uniform = false;
     config.prune_failing_set = false;
-    TcmEngine engine(q, schema, config);
-    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+    SingleQueryContext<TcmEngine> run(q, schema, config);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &run),
               reference);
     if (HasFailure()) return;
   }
   {
     TcmConfig config;
     config.use_tc_filter = false;
-    TcmEngine engine(q, schema, config);
-    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+    SingleQueryContext<TcmEngine> run(q, schema, config);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &run),
               reference);
     if (HasFailure()) return;
   }
   {
-    PostFilterEngine engine(q, schema);
-    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+    SingleQueryContext<PostFilterEngine> run(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &run),
               reference);
     if (HasFailure()) return;
   }
   {
-    LocalEnumEngine engine(q, schema);
-    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+    SingleQueryContext<LocalEnumEngine> run(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &run),
               reference);
     if (HasFailure()) return;
   }
   {
-    TimingEngine engine(q, schema);
-    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &engine),
+    SingleQueryContext<TimingEngine> run(q, schema);
+    EXPECT_EQ(testlib::CheckEngineAgainstOracle(ds, q, window, &run),
               reference);
   }
 }

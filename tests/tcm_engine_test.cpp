@@ -11,18 +11,20 @@
 namespace tcsm {
 namespace {
 
+using TcmRun = SingleQueryContext<TcmEngine>;
+
 // Example II.2: when sigma_14 arrives (window 10), the embedding through
 // sigma_6 occurs; the one through the expired sigma_1 must not.
 TEST(TcmEngine, RunningExampleWindowedStream) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
+  TcmRun run(q, testlib::RunningExampleSchema());
   CollectingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
 
   const TemporalDataset ds = testlib::RunningExampleDataset();
   StreamConfig config;
   config.window = 10;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
 
   Embedding expect;
@@ -49,21 +51,21 @@ TEST(TcmEngine, MatchesOracleOnRunningExample) {
   const QueryGraph q = testlib::RunningExampleQuery();
   const TemporalDataset ds = testlib::RunningExampleDataset();
   for (const Timestamp window : {3, 5, 10, 100}) {
-    TcmEngine engine(q, testlib::RunningExampleSchema());
-    testlib::CheckEngineAgainstOracle(ds, q, window, &engine);
+    TcmRun run(q, testlib::RunningExampleSchema());
+    testlib::CheckEngineAgainstOracle(ds, q, window, &run);
     if (HasFailure()) return;
   }
 }
 
 TEST(TcmEngine, UnlimitedWindowFindsAllSnapshotEmbeddings) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
+  TcmRun run(q, testlib::RunningExampleSchema());
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   const TemporalDataset ds = testlib::RunningExampleDataset();
   StreamConfig config;
   config.window = 1000;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
   EXPECT_EQ(res.occurred, 16u);  // oracle count on the full graph
   EXPECT_EQ(res.expired, 16u);
@@ -75,48 +77,48 @@ TEST(TcmEngine, CountingSinkMatchesCollectingSink) {
   StreamConfig config;
   config.window = 10;
 
-  TcmEngine e1(q, testlib::RunningExampleSchema());
+  TcmRun r1(q, testlib::RunningExampleSchema());
   CountingSink counting;
-  e1.set_sink(&counting);
-  const StreamResult r1 = RunStream(ds, config, &e1);
+  r1.engine().set_sink(&counting);
+  const StreamResult res1 = RunStream(ds, config, &r1);
 
-  TcmEngine e2(q, testlib::RunningExampleSchema());
+  TcmRun r2(q, testlib::RunningExampleSchema());
   CollectingSink collecting;
-  e2.set_sink(&collecting);
-  const StreamResult r2 = RunStream(ds, config, &e2);
+  r2.engine().set_sink(&collecting);
+  const StreamResult res2 = RunStream(ds, config, &r2);
 
-  ASSERT_TRUE(r1.completed && r2.completed);
+  ASSERT_TRUE(res1.completed && res2.completed);
   EXPECT_EQ(counting.occurred() + counting.expired(),
             collecting.matches().size());
-  EXPECT_EQ(r1.occurred, r2.occurred);
+  EXPECT_EQ(res1.occurred, res2.occurred);
 }
 
 TEST(TcmEngine, DcsShrinksWithTcFilter) {
   const QueryGraph q = testlib::RunningExampleQuery();
   const TemporalDataset ds = testlib::RunningExampleDataset();
 
-  TcmEngine filtered(q, testlib::RunningExampleSchema());
+  TcmRun filtered(q, testlib::RunningExampleSchema());
   TcmConfig no_filter_cfg;
   no_filter_cfg.use_tc_filter = false;
-  TcmEngine unfiltered(q, testlib::RunningExampleSchema(), no_filter_cfg);
+  TcmRun unfiltered(q, testlib::RunningExampleSchema(), no_filter_cfg);
 
   // Feed sigma_1..sigma_13 (no expirations) and compare DCS sizes.
   for (size_t i = 0; i < 13; ++i) {
     filtered.OnEdgeArrival(ds.edges[i]);
     unfiltered.OnEdgeArrival(ds.edges[i]);
   }
-  EXPECT_LT(filtered.dcs().stats().num_edges,
-            unfiltered.dcs().stats().num_edges);
-  EXPECT_LE(filtered.dcs().stats().num_d2_nodes,
-            unfiltered.dcs().stats().num_d2_nodes);
+  EXPECT_LT(filtered.engine().dcs().stats().num_edges,
+            unfiltered.engine().dcs().stats().num_edges);
+  EXPECT_LE(filtered.engine().dcs().stats().num_d2_nodes,
+            unfiltered.engine().dcs().stats().num_d2_nodes);
   // Specifically, (eps2, sigma_8) is not TC-matchable before sigma_14.
-  EXPECT_FALSE(filtered.dcs().Contains(testlib::kE2, 7, false));
-  EXPECT_TRUE(unfiltered.dcs().Contains(testlib::kE2, 7, false));
+  EXPECT_FALSE(filtered.engine().dcs().Contains(testlib::kE2, 7, false));
+  EXPECT_TRUE(unfiltered.engine().dcs().Contains(testlib::kE2, 7, false));
   // After sigma_14 it enters the DCS (Example IV.4).
   filtered.OnEdgeArrival(ds.edges[13]);
-  EXPECT_TRUE(filtered.dcs().Contains(testlib::kE2, 7, false));
+  EXPECT_TRUE(filtered.engine().dcs().Contains(testlib::kE2, 7, false));
   // (eps2, sigma_12) stays filtered.
-  EXPECT_FALSE(filtered.dcs().Contains(testlib::kE2, 11, false));
+  EXPECT_FALSE(filtered.engine().dcs().Contains(testlib::kE2, 11, false));
 }
 
 TEST(TcmEngine, TimeLimitMarksRunIncomplete) {
@@ -141,13 +143,13 @@ TEST(TcmEngine, TimeLimitMarksRunIncomplete) {
     e.ts = i + 1;
     ds.edges.push_back(e);
   }
-  TcmEngine engine(q, GraphSchema{false, ds.vertex_labels});
+  TcmRun run(q, GraphSchema{false, ds.vertex_labels});
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 400;
   config.time_limit_ms = 1;  // effectively immediate
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   EXPECT_FALSE(res.completed);
 }
 
@@ -178,18 +180,18 @@ TEST(TcmEngine, DirectedRunningExampleVariant) {
   add(2, 1, 3);  // wrong direction for b
   add(3, 0, 4);  // wrong direction for a (label 1 -> label 0)
 
-  TcmEngine engine(q, GraphSchema{true, ds.vertex_labels});
+  TcmRun run(q, GraphSchema{true, ds.vertex_labels});
   CollectingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 100;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
   EXPECT_EQ(res.occurred, 1u);
 
   // Cross-check with the oracle-backed checker.
-  TcmEngine engine2(q, GraphSchema{true, ds.vertex_labels});
-  testlib::CheckEngineAgainstOracle(ds, q, 100, &engine2);
+  TcmRun run2(q, GraphSchema{true, ds.vertex_labels});
+  testlib::CheckEngineAgainstOracle(ds, q, 100, &run2);
 }
 
 TEST(TcmEngine, EdgeLabelsRestrictMatches) {
@@ -209,12 +211,12 @@ TEST(TcmEngine, EdgeLabelsRestrictMatches) {
     e.label = (i % 2 == 0) ? 5 : 9;
     ds.edges.push_back(e);
   }
-  TcmEngine engine(q, GraphSchema{false, ds.vertex_labels});
+  TcmRun run(q, GraphSchema{false, ds.vertex_labels});
   CountingSink sink;
-  engine.set_sink(&sink);
+  run.engine().set_sink(&sink);
   StreamConfig config;
   config.window = 100;
-  const StreamResult res = RunStream(ds, config, &engine);
+  const StreamResult res = RunStream(ds, config, &run);
   ASSERT_TRUE(res.completed);
   // Two label-5 edges, each matched in both orientations.
   EXPECT_EQ(res.occurred, 4u);
@@ -222,11 +224,11 @@ TEST(TcmEngine, EdgeLabelsRestrictMatches) {
 
 TEST(TcmEngine, MemoryEstimateTracksWindow) {
   const QueryGraph q = testlib::RunningExampleQuery();
-  TcmEngine engine(q, testlib::RunningExampleSchema());
-  const size_t before = engine.EstimateMemoryBytes();
+  TcmRun run(q, testlib::RunningExampleSchema());
+  const size_t before = run.EstimateMemoryBytes();
   const TemporalDataset ds = testlib::RunningExampleDataset();
-  for (const TemporalEdge& e : ds.edges) engine.OnEdgeArrival(e);
-  EXPECT_GT(engine.EstimateMemoryBytes(), before);
+  for (const TemporalEdge& e : ds.edges) run.OnEdgeArrival(e);
+  EXPECT_GT(run.EstimateMemoryBytes(), before);
 }
 
 }  // namespace

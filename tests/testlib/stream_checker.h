@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/shared_context.h"
 #include "graph/temporal_dataset.h"
 #include "graph/temporal_graph.h"
 #include "query/query_graph.h"
@@ -30,12 +31,14 @@ inline EmbeddingSet Snapshot(const TemporalGraph& g, const QueryGraph& q) {
   return set;
 }
 
-/// Replays `dataset` with `window` through `engine`, asserting that the
-/// engine's per-event occurred/expired embedding sets equal the oracle's
-/// snapshot diffs. Returns the total number of occurred matches.
+/// Replays `dataset` with `window` through `context` (with `engine`
+/// attached to it), asserting that the engine's per-event occurred/expired
+/// embedding sets equal the oracle's snapshot diffs. Returns the total
+/// number of occurred matches.
 inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
                                          const QueryGraph& query,
                                          Timestamp window,
+                                         SharedStreamContext* context,
                                          ContinuousEngine* engine) {
   CollectingSink sink;
   engine->set_sink(&sink);
@@ -61,7 +64,7 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
     EmbeddingSet expect_expired;
     if (do_expire) {
       const TemporalEdge& e = dataset.edges[exp];
-      engine->OnEdgeExpiry(e);
+      context->OnEdgeExpiry(e);
       mirror.RemoveEdge(e.id);
       const EmbeddingSet next = Snapshot(mirror, query);
       for (const Embedding& m : current) {
@@ -71,7 +74,7 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
       ++exp;
     } else {
       const TemporalEdge& e = dataset.edges[arr];
-      engine->OnEdgeArrival(e);
+      context->OnEdgeArrival(e);
       mirror.InsertEdge(e.src, e.dst, e.ts, e.label);
       const EmbeddingSet next = Snapshot(mirror, query);
       for (const Embedding& m : next) {
@@ -102,6 +105,15 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
   }
   engine->set_sink(nullptr);
   return total_occurred;
+}
+
+/// Convenience overload for the common one-query rig.
+template <typename EngineT>
+uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
+                                  const QueryGraph& query, Timestamp window,
+                                  SingleQueryContext<EngineT>* run) {
+  return CheckEngineAgainstOracle(dataset, query, window, run,
+                                  &run->engine());
 }
 
 }  // namespace tcsm::testlib
