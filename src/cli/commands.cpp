@@ -15,6 +15,7 @@
 #include "core/snapshot.h"
 #include "core/stream_driver.h"
 #include "core/tcm_engine.h"
+#include "exec/parallel_context.h"
 #include "datasets/presets.h"
 #include "datasets/synthetic.h"
 #include "graph/graph_io.h"
@@ -227,7 +228,7 @@ int CmdRun(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
   if (flags.positional().size() != 2 || !flags.Has("window")) {
     out << "usage: tcsm run <edges-file> <query-file> --window=w "
-           "[--directed] [--labels=file] [--limit_ms=T] "
+           "[--directed] [--labels=file] [--limit_ms=T] [--threads=N] "
            "[--engine=tcm|timing|symbi|local] [--print] [--canonical]\n";
     return 2;
   }
@@ -239,10 +240,22 @@ int CmdRun(const Args& args, std::ostream& out) {
     out << "error: query and data graph directedness differ\n";
     return 1;
   }
+  const size_t threads =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
+  if (threads > 1) {
+    // Fan-out shards *engines*; this subcommand attaches exactly one, so
+    // the run stays serial however many workers the pool has. Say so,
+    // rather than letting the header's threads= field suggest a parallel
+    // measurement.
+    out << "note: run attaches a single engine; --threads=" << threads
+        << " shards per-engine work and cannot speed up one engine\n";
+  }
 
   // The context owns the one shared sliding-window graph; the engine is a
-  // read-only view attached to it.
-  SharedStreamContext context(GraphSchema{ds->directed, ds->vertex_labels});
+  // read-only view attached to it. At --threads=1 (the default) the
+  // parallel context spawns no workers and is the serial context.
+  ParallelStreamContext context(GraphSchema{ds->directed, ds->vertex_labels},
+                                threads);
   std::unique_ptr<ContinuousEngine> engine;
   const std::string kind = flags.GetString("engine", "tcm");
   if (kind == "tcm") {
@@ -276,7 +289,8 @@ int CmdRun(const Args& args, std::ostream& out) {
   config.window = flags.GetInt("window", 0);
   config.time_limit_ms = flags.GetDouble("limit_ms", 0);
   const StreamResult res = RunStream(*ds, config, &context);
-  out << "engine=" << engine->name() << " events=" << res.events
+  out << "engine=" << engine->name() << " threads=" << res.num_threads
+      << " events=" << res.events
       << " occurred=" << res.occurred << " expired=" << res.expired
       << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
       << " peak_bytes=" << res.peak_memory_bytes

@@ -2,6 +2,7 @@
 #ifndef TCSM_COMMON_TIMER_H_
 #define TCSM_COMMON_TIMER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -25,7 +26,16 @@ class StopWatch {
 
 /// A deadline that search loops poll cheaply: `Expired()` only consults the
 /// clock every `kCheckInterval` calls so the hot backtracking path is not
-/// dominated by clock reads.
+/// dominated by clock reads. One Deadline is shared by every engine of a
+/// stream context, and ParallelStreamContext polls it from several worker
+/// threads at once, so the expired flag is a relaxed atomic latch (expiry
+/// is monotone — racing polls can only differ on *when* they first
+/// observe it, which the soft-deadline contract already allows) and the
+/// poll-stride counter is thread-local rather than a member: a shared
+/// counter would put a contended read-modify-write on the innermost
+/// search loop of every worker, costing more than the clock reads it
+/// amortizes. The stride phase therefore varies per thread/run; only the
+/// polling *rate* is contractual.
 class Deadline {
  public:
   /// Unlimited deadline.
@@ -39,17 +49,25 @@ class Deadline {
 
   bool Expired() {
     if (!has_limit_) return false;
-    if (expired_) return true;
-    if (++calls_ % kCheckInterval != 0) return false;
-    expired_ = Clock::now() >= end_;
-    return expired_;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    thread_local uint32_t calls = 0;
+    if (++calls % kCheckInterval != 0) return false;
+    if (Clock::now() >= end_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   /// Unconditional clock check (used between stream events).
   bool ExpiredNow() {
     if (!has_limit_) return false;
-    expired_ = expired_ || Clock::now() >= end_;
-    return expired_;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (Clock::now() >= end_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
  private:
@@ -57,8 +75,7 @@ class Deadline {
   static constexpr uint32_t kCheckInterval = 1024;
 
   bool has_limit_;
-  bool expired_ = false;
-  uint32_t calls_ = 0;
+  std::atomic<bool> expired_{false};
   Clock::time_point end_{};
 };
 

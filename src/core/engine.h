@@ -121,6 +121,10 @@ class ContinuousEngine {
   virtual bool overflowed() const { return false; }
 
   void set_sink(MatchSink* sink) { sink_ = sink; }
+  /// The currently installed sink (null when reports are counter-only).
+  /// ParallelStreamContext reads this to interpose its per-engine result
+  /// buffers in front of whatever the caller installed.
+  MatchSink* sink() const { return sink_; }
   void set_deadline(Deadline* deadline) { deadline_ = deadline; }
   const EngineCounters& counters() const { return counters_; }
 

@@ -18,8 +18,8 @@ void MultiQueryEngine::TaggedSink::OnMatch(const Embedding& embedding,
 
 MultiQueryEngine::MultiQueryEngine(const std::vector<QueryGraph>& queries,
                                    const GraphSchema& schema,
-                                   TcmConfig config)
-    : SharedStreamContext(schema) {
+                                   TcmConfig config, size_t num_threads)
+    : ParallelStreamContext(schema, num_threads) {
   TCSM_CHECK(!queries.empty());
   owned_.reserve(queries.size());
   tagged_.reserve(queries.size());

@@ -13,8 +13,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/shared_context.h"
 #include "core/tcm_engine.h"
+#include "exec/parallel_context.h"
 #include "query/query_graph.h"
 
 namespace tcsm {
@@ -28,12 +28,17 @@ class MultiMatchSink {
                        MatchKind kind, uint64_t multiplicity) = 0;
 };
 
-class MultiQueryEngine : public SharedStreamContext {
+class MultiQueryEngine : public ParallelStreamContext {
  public:
   /// One TCM engine per query, all views of the one shared graph; all
-  /// queries must share the schema's directedness.
+  /// queries must share the schema's directedness. With `num_threads > 1`
+  /// the per-engine notification work of every event is sharded across
+  /// that many threads (including the driver thread); results are
+  /// byte-identical to the serial default, in the same order
+  /// (DESIGN.md §6).
   MultiQueryEngine(const std::vector<QueryGraph>& queries,
-                   const GraphSchema& schema, TcmConfig config = {});
+                   const GraphSchema& schema, TcmConfig config = {},
+                   size_t num_threads = 1);
 
   void set_multi_sink(MultiMatchSink* sink) { multi_sink_ = sink; }
 

@@ -22,7 +22,7 @@ void SharedStreamContext::OnEdgeArrival(const TemporalEdge& ed) {
   const EdgeId id = g_.InsertEdge(ed.src, ed.dst, ed.ts, ed.label);
   TCSM_CHECK(id == ed.id && "edge ids must be dense arrival indices");
   const TemporalEdge& applied = g_.Edge(id);
-  for (ContinuousEngine* engine : engines_) engine->OnEdgeInserted(applied);
+  NotifyInserted(applied);
 }
 
 void SharedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
@@ -30,9 +30,21 @@ void SharedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
   // Copy: the canonical record outlives the removal, but engines receive a
   // stable value either way.
   const TemporalEdge applied = g_.Edge(ed.id);
-  for (ContinuousEngine* engine : engines_) engine->OnEdgeExpiring(applied);
+  NotifyExpiring(applied);
   g_.RemoveEdge(applied.id);
-  for (ContinuousEngine* engine : engines_) engine->OnEdgeRemoved(applied);
+  NotifyRemoved(applied);
+}
+
+void SharedStreamContext::NotifyInserted(const TemporalEdge& ed) {
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeInserted(ed);
+}
+
+void SharedStreamContext::NotifyExpiring(const TemporalEdge& ed) {
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeExpiring(ed);
+}
+
+void SharedStreamContext::NotifyRemoved(const TemporalEdge& ed) {
+  for (ContinuousEngine* engine : engines_) engine->OnEdgeRemoved(ed);
 }
 
 size_t SharedStreamContext::EstimateMemoryBytes() const {

@@ -5,6 +5,13 @@
 // attached to it. Engines are read-only views (const TemporalGraph&) and
 // keep only per-query state — O(1) graph storage and one adjacency update
 // per event for any number of queries (DESIGN.md §1).
+//
+// The fan-out itself is a protected virtual seam (NotifyInserted /
+// NotifyExpiring / NotifyRemoved): the base class notifies engines in
+// attach order on the calling thread, and ParallelStreamContext
+// (exec/parallel_context.h) overrides the seam to shard the per-engine
+// work across a worker pool while the graph mutations stay on the driver
+// thread (DESIGN.md §6).
 #ifndef TCSM_CORE_SHARED_CONTEXT_H_
 #define TCSM_CORE_SHARED_CONTEXT_H_
 
@@ -57,6 +64,22 @@ class SharedStreamContext {
   /// Sum of the attached engines' counters; `non_fifo_removals` is read
   /// from the shared graph.
   EngineCounters AggregateCounters() const;
+
+  /// Total parallelism of the engine fan-out, including the driver
+  /// thread. The serial base class always reports 1.
+  virtual size_t num_threads() const { return 1; }
+
+ protected:
+  /// Engine fan-out seam. The base implementations notify every attached
+  /// engine in attach order on the calling thread; overrides may
+  /// distribute the calls but must preserve the event protocol: the
+  /// arrival is already applied when NotifyInserted runs, the expiring
+  /// edge is still live throughout NotifyExpiring and already removed
+  /// when NotifyRemoved runs, and every engine must have returned before
+  /// the context mutates the graph again.
+  virtual void NotifyInserted(const TemporalEdge& ed);
+  virtual void NotifyExpiring(const TemporalEdge& ed);
+  virtual void NotifyRemoved(const TemporalEdge& ed);
 
  private:
   TemporalGraph g_;

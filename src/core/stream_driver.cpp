@@ -62,6 +62,7 @@ StreamResult RunStream(const TemporalDataset& dataset,
   result.expired = now.expired - base.expired;
   result.non_fifo_removals = now.non_fifo_removals - base.non_fifo_removals;
   result.peak_memory_bytes = peak.peak_bytes();
+  result.num_threads = context->num_threads();
   context->set_deadline(nullptr);
   return result;
 }

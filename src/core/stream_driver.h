@@ -41,6 +41,10 @@ struct StreamResult {
   /// Shared-graph removals that fell back to the O(n) linear scan during
   /// this run (0 for the driver's FIFO expiration order).
   uint64_t non_fifo_removals = 0;
+  /// Fan-out width of the context that was driven (1 for serial contexts,
+  /// the pool width for a ParallelStreamContext) — recorded so bench/CLI
+  /// output always states how a measurement was produced.
+  size_t num_threads = 1;
 };
 
 StreamResult RunStream(const TemporalDataset& dataset,

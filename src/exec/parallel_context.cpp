@@ -1,0 +1,82 @@
+#include "exec/parallel_context.h"
+
+namespace tcsm {
+
+ParallelStreamContext::ParallelStreamContext(const GraphSchema& schema,
+                                             size_t num_threads)
+    : SharedStreamContext(schema), pool_(num_threads) {}
+
+void ParallelStreamContext::SyncSinks() {
+  const std::vector<ContinuousEngine*>& attached = engines();
+  while (buffers_.size() < attached.size()) {
+    buffers_.push_back(std::make_unique<BufferedMatchSink>());
+  }
+  for (size_t i = 0; i < attached.size(); ++i) {
+    MatchSink* current = attached[i]->sink();
+    if (current == buffers_[i].get()) continue;
+    // The caller (re)installed a sink since the last event: buffer in
+    // front of it. A null sink stays null — the engine then only counts,
+    // exactly as in serial execution.
+    buffers_[i]->set_downstream(current);
+    if (current != nullptr) attached[i]->set_sink(buffers_[i].get());
+  }
+}
+
+void ParallelStreamContext::RunPhase(
+    void (ContinuousEngine::*hook)(const TemporalEdge&),
+    const TemporalEdge& ed) {
+  const std::vector<ContinuousEngine*>& attached = engines();
+  try {
+    pool_.ParallelFor(attached.size(),
+                      [&](size_t i) { (attached[i]->*hook)(ed); });
+  } catch (...) {
+    // A failed phase poisons the event: engines that did complete must
+    // not have their buffered matches replayed under a later event's
+    // drain, so discard them before propagating. (Engine index state may
+    // be inconsistent after an exception either way; the context is not
+    // fit to continue the same stream.)
+    for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
+      buffer->Discard();
+    }
+    throw;
+  }
+}
+
+void ParallelStreamContext::DrainSinks() {
+  for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
+    buffer->Drain();
+  }
+}
+
+void ParallelStreamContext::NotifyInserted(const TemporalEdge& ed) {
+  if (!pool_.pooled()) {
+    SharedStreamContext::NotifyInserted(ed);
+    return;
+  }
+  SyncSinks();
+  RunPhase(&ContinuousEngine::OnEdgeInserted, ed);
+  DrainSinks();
+}
+
+void ParallelStreamContext::NotifyExpiring(const TemporalEdge& ed) {
+  if (!pool_.pooled()) {
+    SharedStreamContext::NotifyExpiring(ed);
+    return;
+  }
+  SyncSinks();
+  RunPhase(&ContinuousEngine::OnEdgeExpiring, ed);
+  // Draining here (before the context removes the edge) keeps even the
+  // inter-phase sink timing identical to serial execution.
+  DrainSinks();
+}
+
+void ParallelStreamContext::NotifyRemoved(const TemporalEdge& ed) {
+  if (!pool_.pooled()) {
+    SharedStreamContext::NotifyRemoved(ed);
+    return;
+  }
+  RunPhase(&ContinuousEngine::OnEdgeRemoved, ed);
+  DrainSinks();
+}
+
+}  // namespace tcsm

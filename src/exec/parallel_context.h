@@ -1,0 +1,66 @@
+// Sharded multi-query fan-out over the one shared sliding-window graph.
+//
+// A ParallelStreamContext is a SharedStreamContext whose notification
+// fan-out runs on a worker pool instead of a loop: the graph mutation for
+// an event is still applied exactly once on the driver thread (the
+// two-phase expiry protocol of DESIGN.md §3 is unchanged), and then the
+// per-engine OnEdgeInserted / OnEdgeExpiring / OnEdgeRemoved work — which
+// PR 2 made embarrassingly parallel by turning engines into read-only
+// views of a const graph — is sharded dynamically across the pool, with a
+// full barrier at the end of each phase. In particular the barrier
+// between OnEdgeExpiring and the graph removal guarantees every engine
+// enumerated its dying embeddings against the pre-deletion state before
+// the edge disappears.
+//
+// Determinism: during a phase each engine reports into a private
+// BufferedMatchSink interposed in front of the sink the caller installed;
+// at the end of the event the driver thread drains the buffers in
+// engine-attach order. Each engine runs single-threaded per phase, so the
+// resulting match stream — per query and globally — is byte-identical to
+// serial execution regardless of the thread count or scheduling
+// (DESIGN.md §6). Constructed with num_threads <= 1 the context spawns no
+// workers and behaves exactly like its serial base class.
+#ifndef TCSM_EXEC_PARALLEL_CONTEXT_H_
+#define TCSM_EXEC_PARALLEL_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/shared_context.h"
+#include "exec/result_sink.h"
+#include "exec/thread_pool.h"
+
+namespace tcsm {
+
+class ParallelStreamContext : public SharedStreamContext {
+ public:
+  ParallelStreamContext(const GraphSchema& schema, size_t num_threads);
+
+  /// Total parallelism of the notification phases, including the driver
+  /// thread; 1 means the serial bypass.
+  size_t num_threads() const override { return pool_.num_threads(); }
+
+ protected:
+  void NotifyInserted(const TemporalEdge& ed) override;
+  void NotifyExpiring(const TemporalEdge& ed) override;
+  void NotifyRemoved(const TemporalEdge& ed) override;
+
+ private:
+  /// Interposes a BufferedMatchSink in front of every engine's current
+  /// sink. Runs on the driver thread before each event's fan-out, so
+  /// engines attached or re-sinked between events are picked up.
+  void SyncSinks();
+  /// Runs `hook` on every attached engine across the pool and blocks
+  /// until all of them finished (the phase barrier).
+  void RunPhase(void (ContinuousEngine::*hook)(const TemporalEdge&),
+                const TemporalEdge& ed);
+  /// Drains the per-engine buffers in attach order (serial match order).
+  void DrainSinks();
+
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<BufferedMatchSink>> buffers_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_EXEC_PARALLEL_CONTEXT_H_

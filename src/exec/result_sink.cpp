@@ -1,0 +1,15 @@
+#include "exec/result_sink.h"
+
+namespace tcsm {
+
+void BufferedMatchSink::Drain() {
+  if (buffer_.empty()) return;
+  if (downstream_ != nullptr) {
+    for (const Record& r : buffer_) {
+      downstream_->OnMatch(r.embedding, r.kind, r.multiplicity);
+    }
+  }
+  buffer_.clear();
+}
+
+}  // namespace tcsm

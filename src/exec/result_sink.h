@@ -1,0 +1,67 @@
+// Per-engine result buffering for parallel notification phases. While a
+// ParallelStreamContext fans an event out across workers, every engine
+// reports into its own BufferedMatchSink — engine-private, so appends are
+// lock-free by construction (exactly one worker runs a given engine's
+// notification per phase). At the phase barrier the driver thread drains
+// the buffers in engine-attach order, forwarding each record to the sink
+// the caller originally installed on the engine. Within one engine the
+// buffer preserves production order, and the drain order equals the
+// serial fan-out order, so the downstream sinks observe a match stream
+// byte-identical to serial execution (DESIGN.md §6).
+#ifndef TCSM_EXEC_RESULT_SINK_H_
+#define TCSM_EXEC_RESULT_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tcsm {
+
+class BufferedMatchSink : public MatchSink {
+ public:
+  explicit BufferedMatchSink(MatchSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  /// The caller-installed sink this buffer forwards to on Drain(). May be
+  /// retargeted between events (never during a parallel phase).
+  void set_downstream(MatchSink* downstream) { downstream_ = downstream; }
+  MatchSink* downstream() const { return downstream_; }
+
+  /// Mirrors the downstream verdict so an engine factors interchangeable
+  /// parallel edges exactly as it would reporting straight to the
+  /// downstream (a null downstream matches the null-sink serial path,
+  /// which counts one representative with a multiplicity).
+  bool wants_each_embedding() const override {
+    return downstream_ != nullptr && downstream_->wants_each_embedding();
+  }
+
+  void OnMatch(const Embedding& embedding, MatchKind kind,
+               uint64_t multiplicity) override {
+    buffer_.push_back(Record{embedding, kind, multiplicity});
+  }
+
+  /// Forwards every buffered record downstream in production order and
+  /// clears the buffer. Driver thread only, after the phase barrier.
+  void Drain();
+
+  /// Clears the buffer without forwarding — used when a phase failed and
+  /// its partial results must not leak into a later event's drain.
+  void Discard() { buffer_.clear(); }
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  struct Record {
+    Embedding embedding;
+    MatchKind kind;
+    uint64_t multiplicity;
+  };
+
+  MatchSink* downstream_;
+  std::vector<Record> buffer_;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_EXEC_RESULT_SINK_H_

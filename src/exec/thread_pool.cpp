@@ -1,0 +1,104 @@
+#include "exec/thread_pool.h"
+
+namespace tcsm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads - 1);
+  try {
+    for (size_t t = 0; t + 1 < num_threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } catch (...) {
+    // Thread exhaustion (std::system_error): shut down the workers that
+    // did start, then surface the error as a catchable exception instead
+    // of letting ~vector terminate on joinable threads.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunShard(const std::function<void(size_t)>& body, size_t n) {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Cancel the indices nobody claimed yet; shards already running
+      // finish their current body first (the barrier still holds).
+      next_.store(n, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      body = body_;
+      n = job_n_;
+    }
+    RunShard(*body, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline bypass: with no workers, or a single index that one thread
+    // would claim anyway, waking the pool buys nothing — the body runs
+    // on the caller with no pool machinery at all.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunShard(body, n);  // the caller thread claims indices too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace tcsm

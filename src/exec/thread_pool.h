@@ -1,0 +1,78 @@
+// Persistent worker pool for the parallel execution subsystem. One pool
+// is created per ParallelStreamContext and reused across every stream
+// event, so the per-event cost is a wake-up + barrier, not thread
+// creation. The only primitive is a blocking ParallelFor: fan a loop body
+// out over the workers plus the calling thread, wait for every claimed
+// index to finish, and rethrow the first exception on the caller. With
+// `num_threads <= 1` no workers are spawned at all and ParallelFor runs
+// the body inline on the caller thread (the serial fast path — contexts
+// constructed with one thread behave exactly like serial code).
+#ifndef TCSM_EXEC_THREAD_POOL_H_
+#define TCSM_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcsm {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the thread that
+  /// calls ParallelFor: `num_threads - 1` workers are spawned, none for
+  /// `num_threads <= 1`.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the caller thread (>= 1).
+  size_t num_threads() const { return workers_.size() + 1; }
+  /// True when worker threads exist; false in the inline bypass mode.
+  bool pooled() const { return !workers_.empty(); }
+
+  /// Runs body(0) ... body(n-1), indices claimed dynamically by the
+  /// workers and the calling thread, and returns once every claimed index
+  /// has completed (a full completion barrier — no body is still running
+  /// when this returns). If a body throws, indices not yet claimed may be
+  /// skipped and the first exception is rethrown to the caller after the
+  /// barrier. Without workers — and for single-index jobs, where waking
+  /// the pool buys nothing — the loop runs inline on the caller thread
+  /// (exceptions then propagate directly). Not reentrant: a body must not
+  /// call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indices until the job is exhausted; captures the
+  /// first exception and cancels the remaining indices.
+  void RunShard(const std::function<void(size_t)>& body, size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // new job posted, or stopping
+  std::condition_variable done_cv_;  // a worker finished its shard
+  // Guarded by mu_: the current job, its generation stamp, and how many
+  // workers still have to finish their shard of it.
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t job_n_ = 0;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  /// Next unclaimed loop index of the current job.
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_EXEC_THREAD_POOL_H_

@@ -60,7 +60,25 @@ TEST(Cli, FullPipelineRunAndSnapshot) {
   ASSERT_EQ(CmdRun({edges, query, "--window=200", labels}, run), 0)
       << run.str();
   EXPECT_NE(run.str().find("engine=TCM"), std::string::npos);
+  EXPECT_NE(run.str().find("threads=1"), std::string::npos);
   EXPECT_NE(run.str().find("occurred="), std::string::npos);
+
+  // --threads routes through the parallel context, is echoed in the run
+  // header (with a note that a single-engine run cannot go faster), and
+  // changes nothing about the reported match counts.
+  std::ostringstream par;
+  ASSERT_EQ(CmdRun({edges, query, "--window=200", labels, "--threads=4"},
+                   par),
+            0)
+      << par.str();
+  EXPECT_NE(par.str().find("threads=4"), std::string::npos);
+  EXPECT_NE(par.str().find("note: run attaches a single engine"),
+            std::string::npos);
+  const auto counts = [](const std::string& s) {
+    const size_t begin = s.find("occurred=");
+    return s.substr(begin, s.find(" elapsed_ms=") - begin);
+  };
+  EXPECT_EQ(counts(par.str()), counts(run.str()));
 
   // All engines accept the same pipeline.
   for (const std::string engine : {"timing", "symbi", "local"}) {

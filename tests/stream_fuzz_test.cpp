@@ -5,7 +5,9 @@
 // embedding sets equal the brute-force snapshot oracle's diff
 // (tests/testlib/stream_checker.h). The multi-query scenario additionally
 // replays each entry through a MultiQueryEngine and diffs every tagged
-// per-query stream against an independently run single-query engine. Any
+// per-query stream against an independently run single-query engine, and
+// the parallel scenario replays a 4-query fan-out at 2/4/8 threads and
+// requires byte-identical per-query streams versus serial execution. Any
 // divergence reproduces from the scenario name, which encodes the seed.
 #include <gtest/gtest.h>
 
@@ -189,6 +191,69 @@ TEST_P(StreamFuzz, MultiQueryMatchesSingleQueryEngines) {
     total += solo_res.occurred + solo_res.expired;
   }
   EXPECT_EQ(res.occurred + res.expired, total);
+}
+
+// Parallel differential: the same multi-query fan-out sharded across 2,
+// 4, and 8 threads by the ParallelStreamContext machinery must emit, per
+// query, exactly the match stream of the serial MultiQueryEngine —
+// occurred and expired sets byte-identical *including order* (the
+// deterministic-merge contract of DESIGN.md §6).
+TEST_P(StreamFuzz, ParallelMatchesSerialMultiQuery) {
+  // A 4-query set: the primary plus three independent walk variants
+  // (falling back to earlier queries where the dataset yields no new
+  // walk), so the shards are non-trivial at every thread count.
+  std::vector<QueryGraph> queries{query_};
+  for (uint64_t k = 1; k <= 3; ++k) {
+    QueryGraph variant;
+    Rng rng(GetParam().seed ^ (0x517cc1b727220a95ull * k));
+    if (GenerateQuery(dataset_, GetParam().query, &rng, &variant)) {
+      queries.push_back(variant);
+    } else {
+      queries.push_back(queries[k - 1]);
+    }
+  }
+
+  struct TaggedStreams : MultiMatchSink {
+    explicit TaggedStreams(size_t n) : streams(n) {}
+    std::vector<std::vector<std::pair<Embedding, MatchKind>>> streams;
+    void OnMatch(size_t query_index, const Embedding& embedding,
+                 MatchKind kind, uint64_t multiplicity) override {
+      ASSERT_LT(query_index, streams.size());
+      for (uint64_t i = 0; i < multiplicity; ++i) {
+        streams[query_index].emplace_back(embedding, kind);
+      }
+    }
+  };
+
+  StreamConfig config;
+  config.window = GetParam().window;
+
+  TaggedStreams serial(queries.size());
+  uint64_t serial_total = 0;
+  {
+    MultiQueryEngine engine(queries, schema_);
+    engine.set_multi_sink(&serial);
+    const StreamResult res = RunStream(dataset_, config, &engine);
+    ASSERT_TRUE(res.completed);
+    ASSERT_EQ(res.num_threads, 1u);
+    serial_total = res.occurred + res.expired;
+  }
+
+  for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    TaggedStreams parallel(queries.size());
+    MultiQueryEngine engine(queries, schema_, TcmConfig{}, threads);
+    engine.set_multi_sink(&parallel);
+    const StreamResult res = RunStream(dataset_, config, &engine);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.num_threads, threads);
+    EXPECT_EQ(res.occurred + res.expired, serial_total);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(parallel.streams[qi], serial.streams[qi])
+          << "per-query stream of query " << qi
+          << " diverged from serial execution";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Catalogue, StreamFuzz,

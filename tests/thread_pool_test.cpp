@@ -1,0 +1,114 @@
+// Unit tests for the exec/ worker pool: lifecycle, the ParallelFor
+// completion barrier, exception propagation to the submitting thread, and
+// the single-thread bypass (no workers, body inline on the caller).
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tcsm {
+namespace {
+
+TEST(ThreadPoolTest, StartupShutdownWithoutWork) {
+  // Pools of every shape construct and join cleanly with no job posted.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), std::max<size_t>(n, 1));
+    EXPECT_EQ(pool.pooled(), n > 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForIsACompletionBarrier) {
+  ThreadPool pool(4);
+  // Bodies stagger their finish; after ParallelFor returns every body
+  // must have fully completed (the counter equals n, never less).
+  std::atomic<size_t> completed{0};
+  const size_t n = 64;
+  pool.ParallelFor(n, [&](size_t i) {
+    if (i % 7 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    completed.fetch_add(1);
+  });
+  EXPECT_EQ(completed.load(), n);
+  // The pool is reusable: a second job sees a clean slate.
+  completed.store(0);
+  pool.ParallelFor(n, [&](size_t) { completed.fetch_add(1); });
+  EXPECT_EQ(completed.load(), n);
+}
+
+TEST(ThreadPoolTest, ActuallyRunsConcurrently) {
+  // With 4 threads (3 workers + caller) and 4 bodies that each wait for
+  // all 4 to have started, the job can only finish if the bodies really
+  // run on distinct threads at the same time.
+  ThreadPool pool(4);
+  std::atomic<size_t> started{0};
+  pool.ParallelFor(4, [&](size_t) {
+    started.fetch_add(1);
+    while (started.load() < 4) std::this_thread::yield();
+  });
+  EXPECT_EQ(started.load(), 4u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  ran.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // The throw happened after the barrier: nothing is still running, and
+  // the pool stays usable.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(50, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50u);
+}
+
+TEST(ThreadPoolTest, SingleThreadBypassStaysOnCallerThread) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.pooled());
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.ParallelFor(32, [&](size_t) { seen.insert(std::this_thread::get_id()); });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+  // Inline mode propagates exceptions directly too, and skips the rest
+  // of the loop (fail-fast, like the pooled cancel).
+  size_t ran = 0;
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [&](size_t i) {
+                                  if (i == 3) throw std::runtime_error("x");
+                                  ++ran;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 3u);
+}
+
+TEST(ThreadPoolTest, EmptyJobIsANoOp) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.ParallelFor(0, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,8 +1,17 @@
 // The `tcsm` command-line tool; see src/cli/commands.h for subcommands.
+#include <exception>
 #include <iostream>
 
 #include "cli/commands.h"
 
 int main(int argc, char** argv) {
-  return tcsm::cli::Main(argc, argv, std::cout, std::cerr);
+  try {
+    return tcsm::cli::Main(argc, argv, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    // Worker exceptions surface on the driver thread (the thread pool
+    // rethrows the first one after its barrier); report instead of
+    // aborting with a raw terminate.
+    std::cerr << "tcsm: fatal: " << e.what() << "\n";
+    return 1;
+  }
 }
