@@ -39,7 +39,8 @@ struct Measurement {
   size_t events = 0;
   size_t peak_bytes = 0;
   uint64_t occurred = 0;
-  uint64_t non_fifo_removals = 0;
+  uint64_t adj_entries_scanned = 0;
+  uint64_t adj_entries_matched = 0;
 };
 
 Measurement RunShared(const TemporalDataset& ds,
@@ -48,7 +49,8 @@ Measurement RunShared(const TemporalDataset& ds,
   MultiQueryEngine engine(queries, SchemaOf(ds));
   const StreamResult res = RunStream(ds, config, &engine);
   return Measurement{res.elapsed_ms, res.events, res.peak_memory_bytes,
-                     res.occurred, res.non_fifo_removals};
+                     res.occurred, res.adj_entries_scanned,
+                     res.adj_entries_matched};
 }
 
 Measurement RunReplicated(const TemporalDataset& ds,
@@ -100,7 +102,8 @@ Measurement RunReplicated(const TemporalDataset& ds,
   for (auto& run : runs) {
     const EngineCounters c = run->AggregateCounters();
     out.occurred += c.occurred;
-    out.non_fifo_removals += c.non_fifo_removals;
+    out.adj_entries_scanned += c.adj_entries_scanned;
+    out.adj_entries_matched += c.adj_entries_matched;
   }
   return out;
 }
@@ -116,7 +119,8 @@ void Emit(const char* mode, size_t num_queries, const Measurement& m) {
              secs > 0 ? static_cast<double>(m.events) / secs : 0.0)
       .Field("peak_bytes", static_cast<uint64_t>(m.peak_bytes))
       .Field("occurred", m.occurred)
-      .Field("non_fifo_removals", m.non_fifo_removals);
+      .Field("adj_entries_scanned", m.adj_entries_scanned)
+      .Field("adj_entries_matched", m.adj_entries_matched);
   line.Print(std::cout);
 }
 

@@ -100,7 +100,11 @@ void LocalEnumEngine::Extend(size_t step) {
   const bool v_mapped = HasBit(mapped_vertices_, q.v);
   TCSM_CHECK(u_mapped || v_mapped);
   const VertexId anchor = u_mapped ? vmap_[q.u] : vmap_[q.v];
-  for (const AdjEntry& adj : g_.Adjacency(anchor)) {
+  // Candidates live in the anchor's (q.elabel, other-endpoint-label)
+  // bucket; any entry outside it would fail TryAssign's label checks.
+  const Label want = query_.VertexLabel(u_mapped ? q.v : q.u);
+  for (const AdjEntry& adj : g_.NeighborsMatching(anchor, q.elabel, want)) {
+    ++counters_.adj_entries_scanned;
     const TemporalEdge& ed = g_.Edge(adj.edge);
     if (u_mapped) {
       TryAssign(step, qe, ed, anchor, ed.Other(anchor));
@@ -121,6 +125,7 @@ void LocalEnumEngine::TryAssign(size_t step, EdgeId qe,
     return;
   }
   if (query_.directed() && !(a == ed.src && b == ed.dst)) return;
+  ++counters_.adj_entries_matched;
   const bool u_mapped = HasBit(mapped_vertices_, q.u);
   const bool v_mapped = HasBit(mapped_vertices_, q.v);
   if (u_mapped && vmap_[q.u] != a) return;

@@ -235,15 +235,19 @@ void TimingEngine::Store(size_t level, Record rec) {
   if (u_cov || v_cov) {
     const VertexId anchor_qv = u_cov ? q.u : q.v;
     const VertexId anchor = snapshot.vimg[static_cast<size_t>(slot[anchor_qv])];
-    // Iterate adjacency snapshot by index (the deque is not mutated during
-    // matching).
-    const auto& adj = g_.Adjacency(anchor);
-    for (const AdjEntry& a : adj) {
+    // Candidates live in the anchor's (qe label, other-endpoint-label)
+    // bucket; the graph is not mutated during matching, so the bucket list
+    // is stable.
+    const VertexId other_qv = (anchor_qv == q.u) ? q.v : q.u;
+    for (const AdjEntry& a : g_.NeighborsMatching(
+             anchor, q.elabel, query_.VertexLabel(other_qv))) {
+      ++counters_.adj_entries_scanned;
       const TemporalEdge& de = g_.Edge(a.edge);
       // Orientation mapping the anchor endpoint onto `anchor`.
       const bool flip = (anchor_qv == q.u) ? (de.src != anchor)
                                            : (de.dst != anchor);
       if (!StaticFeasible(query_, g_, qe, de, flip)) continue;
+      ++counters_.adj_entries_matched;
       TryExtend(nxt, &snapshot, de, flip);
       if (overflowed_) return;
     }
@@ -285,9 +289,11 @@ void TimingEngine::EraseRecord(size_t level, uint64_t pid) {
 void TimingEngine::OnEdgeExpiring(const TemporalEdge& ed) {
   const EdgeId id = ed.id;
 
-  // Report expiring complete embeddings, then evict at every level. All
-  // work happens pre-deletion: eviction only touches materialized records
-  // (the retained edge store keeps g_.Edge(id) readable afterwards).
+  // Report expiring complete embeddings, then evict at every level. This
+  // hook runs while the edge is still live (two-phase expiry, DESIGN.md
+  // §3), and eviction only touches materialized records — nothing here
+  // may read g_.Edge(id) after the context removes the edge, since its
+  // slot is reclaimed at the next insertion (DESIGN.md §7).
   const size_t last = order_.size() - 1;
   {
     Level& lv = levels_[last];

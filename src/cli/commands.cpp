@@ -294,6 +294,8 @@ int CmdRun(const Args& args, std::ostream& out) {
       << " occurred=" << res.occurred << " expired=" << res.expired
       << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
       << " peak_bytes=" << res.peak_memory_bytes
+      << " adj_scanned=" << res.adj_entries_scanned
+      << " adj_matched=" << res.adj_entries_matched
       << (res.completed ? "" : " (INCOMPLETE: limit hit)") << "\n";
   return res.completed ? 0 : 3;
 }

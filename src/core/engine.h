@@ -82,11 +82,15 @@ struct EngineCounters {
   /// vs. backtracking. Only the TCM engine fills these.
   uint64_t update_ns = 0;
   uint64_t search_ns = 0;
-  /// Shared-graph removals that fell back to the O(n) linear adjacency
-  /// scan (TemporalGraph::non_fifo_removals). Filled only in aggregated
-  /// counters (SharedStreamContext::AggregateCounters); per-engine
-  /// counters leave it 0 since engines no longer own the graph.
-  uint64_t non_fifo_removals = 0;
+  /// Scan-selectivity counters for the label-partitioned adjacency:
+  /// `adj_entries_scanned` counts adjacency entries visited during index
+  /// maintenance and enumeration scans, `adj_entries_matched` those that
+  /// passed all static (label + direction) checks at the scan site. With
+  /// partitioned storage scanned tracks matched closely; a flat scan
+  /// (TcmConfig::partitioned_adjacency = false) visits every incident
+  /// entry, so the gap measures the partitioning win.
+  uint64_t adj_entries_scanned = 0;
+  uint64_t adj_entries_matched = 0;
 };
 
 class ContinuousEngine {

@@ -76,8 +76,9 @@ EngineCounters SharedStreamContext::AggregateCounters() const {
     total.search_nodes += c.search_nodes;
     total.update_ns += c.update_ns;
     total.search_ns += c.search_ns;
+    total.adj_entries_scanned += c.adj_entries_scanned;
+    total.adj_entries_matched += c.adj_entries_matched;
   }
-  total.non_fifo_removals = g_.non_fifo_removals();
   return total;
 }
 

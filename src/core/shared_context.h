@@ -61,8 +61,7 @@ class SharedStreamContext {
   /// engines attached later).
   void set_deadline(Deadline* deadline);
 
-  /// Sum of the attached engines' counters; `non_fifo_removals` is read
-  /// from the shared graph.
+  /// Sum of the attached engines' counters.
   EngineCounters AggregateCounters() const;
 
   /// Total parallelism of the engine fan-out, including the driver

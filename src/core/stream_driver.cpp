@@ -60,7 +60,10 @@ StreamResult RunStream(const TemporalDataset& dataset,
   const EngineCounters now = context->AggregateCounters();
   result.occurred = now.occurred - base.occurred;
   result.expired = now.expired - base.expired;
-  result.non_fifo_removals = now.non_fifo_removals - base.non_fifo_removals;
+  result.adj_entries_scanned =
+      now.adj_entries_scanned - base.adj_entries_scanned;
+  result.adj_entries_matched =
+      now.adj_entries_matched - base.adj_entries_matched;
   result.peak_memory_bytes = peak.peak_bytes();
   result.num_threads = context->num_threads();
   context->set_deadline(nullptr);

@@ -38,9 +38,11 @@ struct StreamResult {
   size_t events = 0;
   /// Peak of the context estimate: shared graph once + per-query state.
   size_t peak_memory_bytes = 0;
-  /// Shared-graph removals that fell back to the O(n) linear scan during
-  /// this run (0 for the driver's FIFO expiration order).
-  uint64_t non_fifo_removals = 0;
+  /// Scan-selectivity totals over this run (see EngineCounters): adjacency
+  /// entries visited vs. entries passing all static checks. The gap is the
+  /// work the label-partitioned storage avoids.
+  uint64_t adj_entries_scanned = 0;
+  uint64_t adj_entries_matched = 0;
   /// Fan-out width of the context that was driven (1 for serial contexts,
   /// the pool width for a ParallelStreamContext) — recorded so bench/CLI
   /// output always states how a measurement was produced.

@@ -39,9 +39,11 @@ TcmEngine::TcmEngine(const QueryGraph& query, const TemporalGraph& graph,
   TCSM_CHECK(query_.Validate().ok());
   TCSM_CHECK(query_.directed() == g_.directed());
   if (config_.use_tc_filter) {
-    filter_q_ = std::make_unique<MaxMinIndex>(&g_, &dag_q_);
+    filter_q_ = std::make_unique<MaxMinIndex>(&g_, &dag_q_,
+                                              config_.partitioned_adjacency);
     if (config_.use_reverse_filter) {
-      filter_r_ = std::make_unique<MaxMinIndex>(&g_, &dag_r_);
+      filter_r_ = std::make_unique<MaxMinIndex>(&g_, &dag_r_,
+                                                config_.partitioned_adjacency);
     }
   }
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
@@ -121,10 +123,13 @@ void TcmEngine::UpdateStructures(const TemporalEdge& ed, bool inserting) {
   triple_keys_.clear();
   triple_list_.clear();
   auto add_triple = [&](EdgeId qe, const TemporalEdge& de, bool flip) {
-    if (!StaticFeasible(query_, g_, qe, de, flip)) return;
+    if (!StaticFeasible(query_, g_, qe, de, flip)) return false;
     if (triple_keys_.insert(DcsIndex::TripleKey(qe, de.id, flip)).second) {
-      triple_list_.push_back(Triple{qe, de.id, flip});
+      // Capture the record: after a removal the update edge is only a
+      // tombstone in the graph and must not be re-read later.
+      triple_list_.push_back(Triple{qe, de, flip});
     }
+    return true;
   };
 
   // The update edge's own pairs.
@@ -134,16 +139,29 @@ void TcmEngine::UpdateStructures(const TemporalEdge& ed, bool inserting) {
 
   // Pairs whose filter gate changed: edges entering u, incident to v
   // (the matchability of (e, e') is read at the child endpoint of e).
+  // Only entries whose (edge label, neighbor label) signature equals qe's
+  // can pass StaticFeasible, so the partitioned scan visits exactly the
+  // candidate bucket.
   auto rescan = [&](const QueryDag& dag, const std::vector<UvPair>& touched) {
     for (const UvPair& uv : touched) {
       for (const EdgeId qe : dag.ParentEdges(uv.u)) {
         const QueryEdge& q = query_.Edge(qe);
-        for (const AdjEntry& a : g_.Adjacency(uv.v)) {
+        const VertexId other_qv = (q.u == uv.u) ? q.v : q.u;
+        auto visit = [&](const AdjEntry& a) {
+          ++counters_.adj_entries_scanned;
           const TemporalEdge& de = g_.Edge(a.edge);
           // Choose the orientation that maps the child endpoint onto v.
           const bool flip = (uv.u == q.u) ? (de.src != uv.v)
                                           : (de.dst != uv.v);
-          add_triple(qe, de, flip);
+          if (add_triple(qe, de, flip)) ++counters_.adj_entries_matched;
+        };
+        if (config_.partitioned_adjacency) {
+          for (const AdjEntry& a : g_.NeighborsMatching(
+                   uv.v, q.elabel, query_.VertexLabel(other_qv))) {
+            visit(a);
+          }
+        } else {
+          g_.ForEachNeighbor(uv.v, visit);
         }
       }
     }
@@ -154,18 +172,29 @@ void TcmEngine::UpdateStructures(const TemporalEdge& ed, bool inserting) {
   }
 
   for (const Triple& t : triple_list_) {
-    const TemporalEdge& de = g_.Edge(t.data_edge);
-    const bool alive = g_.Alive(t.data_edge);
+    const TemporalEdge& de = t.de;
+    const bool alive = g_.Alive(de.id);
     const bool matchable =
         alive && (!config_.use_tc_filter ||
                   (filter_q_->CheckMatchable(t.qe, de, t.flip) &&
                    (filter_r_ == nullptr ||
                     filter_r_->CheckMatchable(t.qe, de, t.flip))));
-    const bool present = dcs_.Contains(t.qe, t.data_edge, t.flip);
+    const bool present = dcs_.Contains(t.qe, de.id, t.flip);
     if (matchable && !present) {
       dcs_.Insert(t.qe, de, t.flip);
     } else if (!matchable && present) {
       dcs_.Remove(t.qe, de, t.flip);
+    }
+  }
+
+  // Drain last: CheckMatchable above computes missing filter entries
+  // lazily, and those scans belong to this event's totals.
+  if (config_.use_tc_filter) {
+    filter_q_->DrainScanCounters(&counters_.adj_entries_scanned,
+                                 &counters_.adj_entries_matched);
+    if (filter_r_ != nullptr) {
+      filter_r_->DrainScanCounters(&counters_.adj_entries_scanned,
+                                   &counters_.adj_entries_matched);
     }
   }
 }

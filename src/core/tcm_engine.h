@@ -58,6 +58,12 @@ struct TcmConfig {
   bool prune_uniform = true;
   /// Pruning technique 3 (temporal failing sets).
   bool prune_failing_set = true;
+  /// Enumerate only the (edge label, neighbor label) adjacency bucket a
+  /// query edge can match (TemporalGraph::NeighborsMatching) during filter
+  /// recomputation and DCS rescans. Off = visit every incident entry and
+  /// filter inline, the pre-partitioning storage behavior; kept as an
+  /// ablation for bench_storage_scaling.
+  bool partitioned_adjacency = true;
 };
 
 class TcmEngine : public ContinuousEngine {
@@ -146,9 +152,12 @@ class TcmEngine : public ContinuousEngine {
   // Scratch for UpdateStructures.
   std::vector<UvPair> touched_q_;
   std::vector<UvPair> touched_r_;
+  /// A (query edge, data edge, orientation) pair whose DCS verdict must be
+  /// re-evaluated. The data edge is captured by value: after a removal the
+  /// update edge's slot is a tombstone, so the graph must not be re-read.
   struct Triple {
     EdgeId qe;
-    EdgeId data_edge;
+    TemporalEdge de;
     bool flip;
   };
   std::unordered_set<uint64_t> triple_keys_;

@@ -18,8 +18,12 @@ bool StaticFeasible(const QueryGraph& query, const TemporalGraph& graph,
          query.VertexLabel(q.v) == graph.VertexLabel(image_v);
 }
 
-MaxMinIndex::MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag)
-    : graph_(graph), dag_(dag), query_(&dag->query()) {
+MaxMinIndex::MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag,
+                         bool partitioned_adjacency)
+    : graph_(graph),
+      dag_(dag),
+      query_(&dag->query()),
+      partitioned_(partitioned_adjacency) {
   entries_.resize(query_->NumVertices());
   dirty_.resize(query_->NumVertices());
 }
@@ -63,10 +67,11 @@ MaxMinIndex::Entry MaxMinIndex::ComputeEntry(VertexId u, VertexId v) {
     std::fill(branch_earlier.begin(), branch_earlier.end(), kPlusInfinity);
     bool branch_weak = false;
 
-    for (const AdjEntry& a : graph_->Adjacency(v)) {
-      if (a.elabel != qf.elabel) continue;
-      if (graph_->VertexLabel(a.nbr) != want_vlabel) continue;
-      if (graph_->directed() && a.out != need_out) continue;
+    ScanNeighbors(v, qf.elabel, want_vlabel, [&](const AdjEntry& a) {
+      if (a.elabel != qf.elabel) return;
+      if (graph_->VertexLabel(a.nbr) != want_vlabel) return;
+      if (graph_->directed() && a.out != need_out) return;
+      ++matched_;
       // Pull the child entry (lazily computed). Note: GetEntry may insert
       // into entries_[uc]; safe because `entry` lives on our stack.
       const Entry& child = GetEntry(uc, a.nbr);
@@ -90,7 +95,7 @@ MaxMinIndex::Entry MaxMinIndex::ComputeEntry(VertexId u, VertexId v) {
         if (query_->Precedes(f, e)) val = std::max(val, a.ts);
         branch_earlier[s] = std::min(branch_earlier[s], val);
       }
-    }
+    });
 
     entry.weak = entry.weak && branch_weak;
     for (size_t s = 0; s < n_later; ++s) {
@@ -153,13 +158,14 @@ void MaxMinIndex::ProcessDirty(std::vector<UvPair>* touched) {
         const QueryEdge& qpe = query_->Edge(pe);
         const Label want = query_->VertexLabel(up);
         const bool nbr_out = qpe.u == up;  // data edge leaves the parent
-        for (const AdjEntry& a : graph_->Adjacency(v)) {
-          if (a.elabel != qpe.elabel) continue;
-          if (graph_->VertexLabel(a.nbr) != want) continue;
+        ScanNeighbors(v, qpe.elabel, want, [&](const AdjEntry& a) {
+          if (a.elabel != qpe.elabel) return;
+          if (graph_->VertexLabel(a.nbr) != want) return;
           // From v's perspective the edge direction is inverted.
-          if (graph_->directed() && a.out == nbr_out) continue;
+          if (graph_->directed() && a.out == nbr_out) return;
+          ++matched_;
           MarkDirty(up, a.nbr);
-        }
+        });
       }
     }
   }

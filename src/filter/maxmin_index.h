@@ -53,7 +53,12 @@ class MaxMinIndex {
  public:
   /// `graph` and `dag` must outlive the index. The graph must be the
   /// engine's live windowed graph; the index reads adjacency lazily.
-  MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag);
+  /// With `partitioned_adjacency` (the default) entry recomputation scans
+  /// only the (edge label, neighbor label) bucket each DAG edge can match;
+  /// without it every incident entry is visited and filtered inline — the
+  /// pre-partitioning behavior, kept as a measurable ablation.
+  MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag,
+              bool partitioned_adjacency = true);
 
   /// Incremental update after `ed` was inserted into the graph
   /// (TCMInsertion). Appends to `touched` the entries whose gate values
@@ -78,6 +83,16 @@ class MaxMinIndex {
 
   size_t NumEntries() const;
   size_t EstimateMemoryBytes() const;
+
+  /// Adds the adjacency-entry scan counts accumulated since the last call
+  /// to `*scanned`/`*matched` and resets them (drained by the owning
+  /// engine into its EngineCounters).
+  void DrainScanCounters(uint64_t* scanned, uint64_t* matched) {
+    *scanned += scanned_;
+    *matched += matched_;
+    scanned_ = 0;
+    matched_ = 0;
+  }
 
  private:
   struct Entry {
@@ -104,9 +119,31 @@ class MaxMinIndex {
   /// changes to existing parent entries; fills `touched`.
   void ProcessDirty(std::vector<UvPair>* touched);
 
+  /// Invokes `fn(entry)` for the entries of v's (elabel, nbr_label)
+  /// bucket (partitioned mode) or for every incident entry (flat mode),
+  /// maintaining the scan counter either way.
+  template <typename Fn>
+  void ScanNeighbors(VertexId v, Label elabel, Label nbr_label, Fn&& fn) {
+    if (partitioned_) {
+      for (const AdjEntry& a : graph_->NeighborsMatching(v, elabel,
+                                                         nbr_label)) {
+        ++scanned_;
+        fn(a);
+      }
+    } else {
+      graph_->ForEachNeighbor(v, [&](const AdjEntry& a) {
+        ++scanned_;
+        fn(a);
+      });
+    }
+  }
+
   const TemporalGraph* graph_;
   const QueryDag* dag_;
   const QueryGraph* query_;
+  const bool partitioned_;
+  uint64_t scanned_ = 0;
+  uint64_t matched_ = 0;
 
   std::vector<std::unordered_map<VertexId, Entry>> entries_;  // per u
   /// Dirty sets bucketed by topological position of u.

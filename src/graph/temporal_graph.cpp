@@ -1,6 +1,5 @@
 #include "graph/temporal_graph.h"
 
-#include "common/logging.h"
 #include "common/memory_meter.h"
 
 namespace tcsm {
@@ -17,7 +16,77 @@ void TemporalGraph::EnsureVertices(size_t n) {
 
 void TemporalGraph::SetVertexLabel(VertexId v, Label label) {
   TCSM_CHECK(v < vertex_labels_.size());
+  TCSM_CHECK(adj_[v].degree == 0 &&
+             "relabeling a vertex with live edges would strand bucket entries");
   vertex_labels_[v] = label;
+}
+
+uint32_t TemporalGraph::AllocNode(const AdjEntry& entry) {
+  if (free_node_head_ != kNilNode) {
+    const uint32_t n = free_node_head_;
+    free_node_head_ = nodes_[n].next;
+    nodes_[n].entry = entry;
+    return n;
+  }
+  nodes_.push_back(AdjNode{entry, kNilNode, kNilNode});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t TemporalGraph::LinkNode(VertexId v, const AdjEntry& entry) {
+  const uint32_t n = AllocNode(entry);
+  Bucket& bucket =
+      adj_[v].buckets[PackPair(entry.elabel, vertex_labels_[entry.nbr])];
+  nodes_[n].prev = bucket.tail;
+  nodes_[n].next = kNilNode;
+  if (bucket.tail == kNilNode) {
+    bucket.head = n;
+  } else {
+    nodes_[bucket.tail].next = n;
+  }
+  bucket.tail = n;
+  ++bucket.size;
+  ++adj_[v].degree;
+  return n;
+}
+
+void TemporalGraph::UnlinkNode(VertexId v, uint32_t node) {
+  const AdjEntry& entry = nodes_[node].entry;
+  auto it = adj_[v].buckets.find(
+      PackPair(entry.elabel, vertex_labels_[entry.nbr]));
+  TCSM_CHECK(it != adj_[v].buckets.end() && "edge missing from adjacency");
+  Bucket& bucket = it->second;
+  const uint32_t prev = nodes_[node].prev;
+  const uint32_t next = nodes_[node].next;
+  if (prev == kNilNode) {
+    bucket.head = next;
+  } else {
+    nodes_[prev].next = next;
+  }
+  if (next == kNilNode) {
+    bucket.tail = prev;
+  } else {
+    nodes_[next].prev = prev;
+  }
+  TCSM_CHECK(bucket.size > 0);
+  --bucket.size;
+  --adj_[v].degree;
+  // Push onto the node free-list.
+  nodes_[node].next = free_node_head_;
+  free_node_head_ = node;
+}
+
+void TemporalGraph::DrainPendingFrees() {
+  if (pending_free_.empty()) return;
+  for (const uint32_t slot : pending_free_) {
+    const EdgeId id = slots_[slot].edge.id;
+    ring_[id - base_id_] = kInvalidSlot;
+    free_slots_.push_back(slot);
+  }
+  pending_free_.clear();
+  while (!ring_.empty() && ring_.front() == kInvalidSlot) {
+    ring_.pop_front();
+    ++base_id_;
+  }
 }
 
 EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
@@ -26,56 +95,69 @@ EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
   // No simple query can match a self loop (vertex images are injective);
   // loaders drop them on ingest and the store rejects them outright.
   TCSM_CHECK(src != dst && "self loops are not supported");
-  const EdgeId id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(TemporalEdge{id, src, dst, ts, label});
-  alive_.push_back(1);
-  adj_[src].push_back(AdjEntry{dst, id, ts, label, /*out=*/true});
-  if (dst != src) {
-    adj_[dst].push_back(AdjEntry{src, id, ts, label, /*out=*/false});
+  // Ids are 32-bit dense arrival indices and are never recycled, so one
+  // graph instance supports 2^32 - 1 arrivals per ClearEdges(); abort
+  // loudly at the limit instead of silently wrapping (see the header).
+  TCSM_CHECK(next_id_ != kInvalidEdge && "edge-id space exhausted");
+  DrainPendingFrees();
+  const EdgeId id = next_id_++;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
+  EdgeSlot& s = slots_[slot];
+  s.edge = TemporalEdge{id, src, dst, ts, label};
+  s.alive = true;
+  s.node_src = LinkNode(src, AdjEntry{dst, id, ts, label, /*out=*/true});
+  s.node_dst = LinkNode(dst, AdjEntry{src, id, ts, label, /*out=*/false});
+  ring_.push_back(slot);
   ++num_alive_;
   return id;
 }
 
 void TemporalGraph::RemoveEdge(EdgeId id) {
-  TCSM_CHECK(id < edges_.size() && alive_[id]);
-  const TemporalEdge& e = edges_[id];
-  auto erase_from = [&](VertexId v) -> bool {
-    auto& dq = adj_[v];
-    if (!dq.empty() && dq.front().edge == id) {
-      dq.pop_front();
-      return true;  // FIFO fast path
-    }
-    for (auto it = dq.begin(); it != dq.end(); ++it) {
-      if (it->edge == id) {
-        dq.erase(it);
-        return false;
-      }
-    }
-    TCSM_CHECK(false && "edge missing from adjacency");
-    return false;
-  };
-  bool fifo = erase_from(e.src);
-  if (e.dst != e.src) fifo = erase_from(e.dst) && fifo;
-  if (!fifo) ++non_fifo_removals_;
-  alive_[id] = 0;
+  const uint32_t slot = ResolveSlot(id);
+  EdgeSlot& s = slots_[slot];
+  TCSM_CHECK(s.alive && "edge already removed");
+  UnlinkNode(s.edge.src, s.node_src);
+  UnlinkNode(s.edge.dst, s.node_dst);
+  s.node_src = kNilNode;
+  s.node_dst = kNilNode;
+  s.alive = false;
+  // Deferred reclamation: the record stays readable (as a tombstone) until
+  // the next InsertEdge, so index-update code running after the removal of
+  // this very event can still read Edge(id).
+  pending_free_.push_back(slot);
   --num_alive_;
 }
 
 size_t TemporalGraph::EstimateMemoryBytes() const {
-  size_t bytes = VectorBytes(vertex_labels_) + VectorBytes(alive_);
-  // Only live edges count toward the window footprint.
-  bytes += num_alive_ * sizeof(TemporalEdge);
-  for (const auto& dq : adj_) bytes += dq.size() * sizeof(AdjEntry);
+  size_t bytes = VectorBytes(vertex_labels_) + VectorBytes(adj_) +
+                 VectorBytes(nodes_) + VectorBytes(slots_) +
+                 VectorBytes(free_slots_) + VectorBytes(pending_free_);
+  bytes += ring_.size() * sizeof(uint32_t) + sizeof(ring_);
+  for (const auto& va : adj_) bytes += HashMapBytes(va.buckets);
   return bytes;
 }
 
 void TemporalGraph::ClearEdges() {
-  edges_.clear();
-  alive_.clear();
+  nodes_.clear();
+  free_node_head_ = kNilNode;
+  slots_.clear();
+  free_slots_.clear();
+  pending_free_.clear();
+  ring_.clear();
+  base_id_ = 0;
+  next_id_ = 0;
   num_alive_ = 0;
-  non_fifo_removals_ = 0;
-  for (auto& dq : adj_) dq.clear();
+  for (auto& va : adj_) {
+    va.buckets.clear();
+    va.degree = 0;
+  }
 }
 
 }  // namespace tcsm

@@ -1,15 +1,40 @@
 // Sliding-window temporal multigraph: the "current state g of G" from
-// Algorithm 1 of the paper. Edges arrive in timestamp order and expire in
-// the same order (FIFO), so per-vertex adjacency lists stay chronologically
-// sorted with O(1) amortized insertion at the back and removal at the front
-// (Section III, "Updating the data structures").
+// Algorithm 1 of the paper, organized for infinite streams.
+//
+// Two storage-layer properties keep hot paths fast and memory bounded:
+//
+//  * Slot recycling — live edges occupy slots in a pooled store; an
+//    expired edge returns its slot (and its two adjacency nodes) to a
+//    free-list, so the live state is O(window), not O(stream length).
+//    External EdgeIds stay the dense arrival indices 0, 1, 2, ... and are
+//    never recycled; a sliding id ring maps an id to its current slot, and
+//    the slot's stored id doubles as a generation check (a stale id can
+//    resolve to "expired", never to a different edge). Removal is O(1) in
+//    any order — per-endpoint node positions are stored on the slot, so
+//    there is no linear-scan fallback for non-FIFO removals.
+//
+//  * Label-partitioned adjacency — each vertex's incident live edges are
+//    bucketed by (edge label, neighbor label) signature, chronologically
+//    ordered inside each bucket (arrivals append at the tail). Matching
+//    code enumerates only the statically feasible bucket via
+//    NeighborsMatching(v, elabel, nbr_label), so per-event work is
+//    proportional to selectivity instead of degree. ForEachNeighbor
+//    iterates all buckets (the flat-scan equivalent, used by the oracle
+//    and the storage ablation).
+//
+// See DESIGN.md §7 for the layout, iteration-order guarantees, and the
+// deferred-reclamation rule that keeps a removed edge's record readable
+// through the NotifyRemoved phase of its own expiry event.
 #ifndef TCSM_GRAPH_TEMPORAL_GRAPH_H_
 #define TCSM_GRAPH_TEMPORAL_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 #include "graph/temporal_edge.h"
 
@@ -37,50 +62,213 @@ class TemporalGraph {
 
   /// Grows the vertex set to `n` vertices, new ones labeled 0.
   void EnsureVertices(size_t n);
+  /// Only legal while `v` has no live incident edges: adjacency buckets
+  /// are keyed by neighbor label, so relabeling a connected vertex would
+  /// strand entries in stale buckets.
   void SetVertexLabel(VertexId v, Label label);
 
-  /// Inserts a live edge (arrival event) and returns its id. Timestamps
-  /// must be non-decreasing across insertions (streaming order).
+  /// Inserts a live edge (arrival event) and returns its id — the dense
+  /// arrival index since the last ClearEdges(). Timestamps must be
+  /// non-decreasing across insertions (streaming order). Reuses a free
+  /// slot when one exists; ids are never reused. EdgeId is 32-bit, so a
+  /// graph instance supports 2^32 - 1 arrivals per ClearEdges() and
+  /// CHECK-fails past that — the binding bound now that slot memory no
+  /// longer grows with the stream (widening the id type is the next step
+  /// when a deployment needs longer unbroken streams).
   EdgeId InsertEdge(VertexId src, VertexId dst, Timestamp ts, Label label = 0);
 
-  /// Removes a live edge (expiration event). O(1) when edges expire in
-  /// FIFO order, which the stream driver guarantees; falls back to a linear
-  /// scan otherwise so tests may remove arbitrary edges. Every removal that
-  /// needed the scan is counted in non_fifo_removals() so accidental O(n)
-  /// expiry paths stay visible in bench output.
+  /// Removes a live edge (expiration event) in O(1) regardless of order —
+  /// the slot stores both endpoint adjacency positions. The slot itself is
+  /// reclaimed lazily at the next InsertEdge, so Edge(id) of the edge
+  /// removed most recently stays readable until then (the NotifyRemoved
+  /// phase of the shared context relies on this).
   void RemoveEdge(EdgeId id);
 
-  /// Number of RemoveEdge calls that fell back to the linear adjacency
-  /// scan (the removed edge was not at the front of every endpoint deque).
-  uint64_t non_fifo_removals() const { return non_fifo_removals_; }
-
   size_t NumVertices() const { return vertex_labels_.size(); }
-  size_t NumEdgesEver() const { return edges_.size(); }
+  /// Edges inserted since construction / the last ClearEdges() (== the
+  /// next id to be assigned). Unlike slots, this grows with the stream.
+  size_t NumEdgesEver() const { return next_id_; }
   size_t NumAliveEdges() const { return num_alive_; }
 
+  /// Slot-pool high-water mark: the most edges that were ever live at
+  /// once (plus at most one pending-reclaim tombstone). Bounded by the
+  /// window, not the stream length — asserted by the storage soak test.
+  size_t NumSlots() const { return slots_.size(); }
+  /// Slots currently on the free-list or awaiting reclamation.
+  size_t NumFreeSlots() const { return free_slots_.size() + pending_free_.size(); }
+  /// Width of the id ring (distance from the oldest unreclaimed id to the
+  /// next id). O(window) under FIFO expiry.
+  size_t IdSpan() const { return ring_.size(); }
+
   Label VertexLabel(VertexId v) const { return vertex_labels_[v]; }
-  const TemporalEdge& Edge(EdgeId id) const { return edges_[id]; }
-  bool Alive(EdgeId id) const { return alive_[id]; }
+  /// The canonical record of a live (or most-recently-removed, see
+  /// RemoveEdge) edge. CHECK-fails for ids whose slot was reclaimed.
+  const TemporalEdge& Edge(EdgeId id) const {
+    return slots_[ResolveSlot(id)].edge;
+  }
+  bool Alive(EdgeId id) const {
+    if (id < base_id_ || id >= next_id_) return false;
+    const uint32_t slot = ring_[id - base_id_];
+    return slot != kInvalidSlot && slots_[slot].alive;
+  }
 
-  /// Live incident edges of v in chronological order (both directions for
-  /// directed graphs; check AdjEntry::out).
-  const std::deque<AdjEntry>& Adjacency(VertexId v) const { return adj_[v]; }
-  size_t Degree(VertexId v) const { return adj_[v].size(); }
+  size_t Degree(VertexId v) const { return adj_[v].degree; }
 
-  /// Approximate heap footprint of the live state (adjacency + labels).
+  /// Iterator over one adjacency bucket (an intrusive doubly-linked list
+  /// through the node pool). Invalidated by any graph mutation.
+  class NeighborIterator {
+   public:
+    const AdjEntry& operator*() const { return g_->nodes_[node_].entry; }
+    const AdjEntry* operator->() const { return &g_->nodes_[node_].entry; }
+    NeighborIterator& operator++() {
+      node_ = g_->nodes_[node_].next;
+      return *this;
+    }
+    bool operator==(const NeighborIterator& o) const {
+      return node_ == o.node_;
+    }
+    bool operator!=(const NeighborIterator& o) const {
+      return node_ != o.node_;
+    }
+
+   private:
+    friend class TemporalGraph;
+    NeighborIterator(const TemporalGraph* g, uint32_t node)
+        : g_(g), node_(node) {}
+    const TemporalGraph* g_;
+    uint32_t node_;
+  };
+
+  class NeighborRange {
+   public:
+    NeighborIterator begin() const { return NeighborIterator(g_, head_); }
+    NeighborIterator end() const { return NeighborIterator(g_, kNilNode); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+   private:
+    friend class TemporalGraph;
+    NeighborRange(const TemporalGraph* g, uint32_t head, size_t size)
+        : g_(g), head_(head), size_(size) {}
+    const TemporalGraph* g_;
+    uint32_t head_;
+    size_t size_;
+  };
+
+  /// Live incident edges of `v` whose edge label is `elabel` and whose
+  /// other endpoint carries `nbr_label`, in chronological order. Both
+  /// directions for directed graphs — check AdjEntry::out. Work here is
+  /// proportional to the statically feasible entries only.
+  NeighborRange NeighborsMatching(VertexId v, Label elabel,
+                                  Label nbr_label) const {
+    const auto& buckets = adj_[v].buckets;
+    const auto it = buckets.find(PackPair(elabel, nbr_label));
+    if (it == buckets.end()) return NeighborRange(this, kNilNode, 0);
+    return NeighborRange(this, it->second.head, it->second.size);
+  }
+
+  /// All live incident edges of `v` — every bucket in turn, chronological
+  /// within a bucket but unordered across buckets. This is the flat-scan
+  /// equivalent of the pre-partitioned layout (storage ablation, oracle).
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    for (const auto& [sig, bucket] : adj_[v].buckets) {
+      for (uint32_t n = bucket.head; n != kNilNode; n = nodes_[n].next) {
+        fn(nodes_[n].entry);
+      }
+    }
+  }
+
+  /// All live edges in ascending id (= arrival) order.
+  template <typename Fn>
+  void ForEachLiveEdge(Fn&& fn) const {
+    for (EdgeId id = base_id_; id < next_id_; ++id) {
+      const uint32_t slot = ring_[id - base_id_];
+      if (slot == kInvalidSlot || !slots_[slot].alive) continue;
+      fn(slots_[slot].edge);
+    }
+  }
+
+  /// Approximate heap footprint of the live state (slot + node pools,
+  /// id ring, buckets, labels). O(window) under FIFO expiry.
   size_t EstimateMemoryBytes() const;
 
   /// Removes all edges but keeps vertices (used between experiment runs).
+  /// Edge ids restart at 0.
   void ClearEdges();
 
  private:
+  static constexpr uint32_t kNilNode = UINT32_MAX;
+  static constexpr uint32_t kInvalidSlot = UINT32_MAX;
+
+  struct AdjNode {
+    AdjEntry entry;
+    uint32_t prev;
+    uint32_t next;
+  };
+
+  /// One (edge label, neighbor label) partition of a vertex's adjacency:
+  /// an intrusive doubly-linked list through nodes_, oldest at head.
+  struct Bucket {
+    uint32_t head = kNilNode;
+    uint32_t tail = kNilNode;
+    uint32_t size = 0;
+  };
+
+  struct VertexAdj {
+    /// Keyed by PackPair(elabel, nbr_label). Buckets persist once created
+    /// (bounded by the signatures seen at this vertex).
+    std::unordered_map<uint64_t, Bucket> buckets;
+    size_t degree = 0;
+  };
+
+  /// Pooled storage of one live edge. `node_src`/`node_dst` are the
+  /// adjacency positions that make RemoveEdge O(1).
+  struct EdgeSlot {
+    TemporalEdge edge;
+    uint32_t node_src = kNilNode;
+    uint32_t node_dst = kNilNode;
+    bool alive = false;
+  };
+
+  uint32_t ResolveSlot(EdgeId id) const {
+    TCSM_CHECK(id >= base_id_ && id < next_id_ && "edge id out of window");
+    const uint32_t slot = ring_[id - base_id_];
+    TCSM_CHECK(slot != kInvalidSlot && "edge slot already reclaimed");
+    // Generation safety: the slot's stored id must match the requested id
+    // (a recycled slot carries a newer id, so stale ids can never alias).
+    TCSM_CHECK(slots_[slot].edge.id == id);
+    return slot;
+  }
+
+  uint32_t AllocNode(const AdjEntry& entry);
+  /// Appends a node for `entry` at the tail of v's matching bucket.
+  uint32_t LinkNode(VertexId v, const AdjEntry& entry);
+  /// Unlinks `node` from v's matching bucket and frees it.
+  void UnlinkNode(VertexId v, uint32_t node);
+  /// Returns pending tombstone slots to the free-list and advances the id
+  /// ring past fully reclaimed ids.
+  void DrainPendingFrees();
+
   bool directed_;
   size_t num_alive_ = 0;
-  uint64_t non_fifo_removals_ = 0;
   std::vector<Label> vertex_labels_;
-  std::vector<TemporalEdge> edges_;   // all edges ever inserted
-  std::vector<uint8_t> alive_;        // parallel to edges_
-  std::vector<std::deque<AdjEntry>> adj_;
+  std::vector<VertexAdj> adj_;
+
+  // Node pool with an intrusive singly-linked free-list (through `next`).
+  std::vector<AdjNode> nodes_;
+  uint32_t free_node_head_ = kNilNode;
+
+  // Slot pool. `pending_free_` holds tombstones of removed edges that are
+  // reclaimed at the next InsertEdge (deferred reclamation).
+  std::vector<EdgeSlot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> pending_free_;
+
+  // Sliding id -> slot map for ids in [base_id_, next_id_).
+  std::deque<uint32_t> ring_;
+  EdgeId base_id_ = 0;
+  EdgeId next_id_ = 0;
 };
 
 }  // namespace tcsm

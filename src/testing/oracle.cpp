@@ -131,17 +131,19 @@ void Recurse(EnumCtx& ctx, size_t step) {
   const bool v_mapped = HasBit(ctx.mapped_v, e.v);
   if (!u_mapped && !v_mapped) {
     // Only the first edge: try every live edge in both orientations.
-    for (EdgeId id = 0; id < g.NumEdgesEver(); ++id) {
-      if (!g.Alive(id)) continue;
-      const TemporalEdge& ed = g.Edge(id);
+    g.ForEachLiveEdge([&](const TemporalEdge& ed) {
       TryAssign(ctx, step, qe, ed, ed.src, ed.dst);
       TryAssign(ctx, step, qe, ed, ed.dst, ed.src);
-    }
+    });
     return;
   }
-  // Scan the adjacency of a mapped endpoint.
+  // Scan the full adjacency of a mapped endpoint. Deliberately NOT the
+  // partitioned NeighborsMatching fast path: the oracle's flat scan
+  // cross-checks bucket completeness in the differential suite (an entry
+  // filed under a wrong signature would be found here but missed by the
+  // engines).
   const VertexId anchor = u_mapped ? ctx.vmap[e.u] : ctx.vmap[e.v];
-  for (const AdjEntry& adj : g.Adjacency(anchor)) {
+  g.ForEachNeighbor(anchor, [&](const AdjEntry& adj) {
     const TemporalEdge& ed = g.Edge(adj.edge);
     if (u_mapped) {
       // e.u -> anchor; the other endpoint of ed maps to e.v.
@@ -149,7 +151,7 @@ void Recurse(EnumCtx& ctx, size_t step) {
     } else {
       TryAssign(ctx, step, qe, ed, ed.Other(anchor), anchor);
     }
-  }
+  });
 }
 
 /// Achievable subtree aggregates over explicit path-tree homomorphisms.
@@ -169,10 +171,10 @@ std::set<Timestamp> Achievable(const TemporalGraph& g, const QueryDag& dag,
     const bool need_out = qf.u == u;
     const bool related = later ? q.Precedes(e, f) : q.Precedes(f, e);
     std::set<Timestamp> branch;
-    for (const AdjEntry& a : g.Adjacency(v)) {
-      if (a.elabel != qf.elabel) continue;
-      if (g.VertexLabel(a.nbr) != q.VertexLabel(uc)) continue;
-      if (g.directed() && a.out != need_out) continue;
+    g.ForEachNeighbor(v, [&](const AdjEntry& a) {
+      if (a.elabel != qf.elabel) return;
+      if (g.VertexLabel(a.nbr) != q.VertexLabel(uc)) return;
+      if (g.directed() && a.out != need_out) return;
       for (const Timestamp s : Achievable(g, dag, uc, a.nbr, e, later)) {
         Timestamp val = s;
         if (related) {
@@ -180,7 +182,7 @@ std::set<Timestamp> Achievable(const TemporalGraph& g, const QueryDag& dag,
         }
         branch.insert(val);
       }
-    }
+    });
     if (branch.empty()) return {};
     // Cross-combine with the accumulator (branches are independent; the
     // subtree aggregate is the min/max across branches).

@@ -93,7 +93,9 @@ TEST(FilterEdgeCases, DirectedDataRespectsOrientationInWeakEmbeddings) {
   // The continuation edge points INTO vertex 1 — wrong direction for e1.
   g.InsertEdge(2, 1, 5);
   MaxMinIndex index(&g, &dag);
-  const TemporalEdge& first = g.Edge(0);
+  // Copy: InsertEdge below may grow the slot pool and invalidate
+  // references returned by Edge().
+  const TemporalEdge first = g.Edge(0);
   EXPECT_FALSE(index.CheckMatchable(e0, first, false));
   // Fixing the direction makes it matchable.
   g.InsertEdge(1, 2, 7);
@@ -119,7 +121,9 @@ TEST(FilterEdgeCases, EdgeLabelsFilterWeakEmbeddings) {
   g.InsertEdge(0, 1, 1, /*label=*/1);
   g.InsertEdge(1, 2, 5, /*label=*/1);  // wrong label for e1
   MaxMinIndex index(&g, &dag);
-  const TemporalEdge& first = g.Edge(0);
+  // Copy: InsertEdge below may grow the slot pool and invalidate
+  // references returned by Edge().
+  const TemporalEdge first = g.Edge(0);
   EXPECT_FALSE(index.CheckMatchable(e0, first, false) ||
                index.CheckMatchable(e0, first, true));
   g.InsertEdge(1, 2, 6, /*label=*/2);

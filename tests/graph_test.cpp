@@ -1,10 +1,29 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "graph/temporal_graph.h"
 #include "testlib/running_example.h"
 
 namespace tcsm {
 namespace {
+
+/// Flattens one (elabel, nbr_label) bucket into a vector for assertions.
+std::vector<AdjEntry> Bucket(const TemporalGraph& g, VertexId v, Label elabel,
+                             Label nbr_label) {
+  std::vector<AdjEntry> out;
+  for (const AdjEntry& a : g.NeighborsMatching(v, elabel, nbr_label)) {
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// Flattens all buckets of v (ForEachNeighbor order).
+std::vector<AdjEntry> AllNeighbors(const TemporalGraph& g, VertexId v) {
+  std::vector<AdjEntry> out;
+  g.ForEachNeighbor(v, [&](const AdjEntry& a) { out.push_back(a); });
+  return out;
+}
 
 TEST(TemporalGraph, InsertAndAdjacency) {
   TemporalGraph g;
@@ -17,25 +36,51 @@ TEST(TemporalGraph, InsertAndAdjacency) {
   EXPECT_EQ(g.NumAliveEdges(), 2u);
   EXPECT_EQ(g.Edge(e0).label, 7u);
   EXPECT_EQ(g.Degree(b), 2u);
-  EXPECT_EQ(g.Adjacency(b)[0].nbr, a);
-  EXPECT_EQ(g.Adjacency(b)[0].edge, e0);
-  EXPECT_FALSE(g.Adjacency(b)[0].out);  // edge a->b enters b
-  EXPECT_TRUE(g.Adjacency(b)[1].out);
-  EXPECT_EQ(g.Adjacency(b)[1].edge, e1);
+  // b's two edges carry different labels, hence distinct buckets.
+  const auto b0 = Bucket(g, b, 7, 0);
+  ASSERT_EQ(b0.size(), 1u);
+  EXPECT_EQ(b0[0].nbr, a);
+  EXPECT_EQ(b0[0].edge, e0);
+  EXPECT_FALSE(b0[0].out);  // edge a->b enters b
+  const auto b1 = Bucket(g, b, 0, 0);
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_EQ(b1[0].edge, e1);
+  EXPECT_TRUE(b1[0].out);
+  EXPECT_EQ(AllNeighbors(g, b).size(), 2u);
 }
 
-TEST(TemporalGraph, ParallelEdgesKeepChronologicalOrder) {
+TEST(TemporalGraph, BucketsPartitionBySignature) {
   TemporalGraph g;
   const VertexId a = g.AddVertex(0);
-  const VertexId b = g.AddVertex(0);
-  for (Timestamp t = 1; t <= 5; ++t) g.InsertEdge(a, b, t);
+  const VertexId b = g.AddVertex(1);
+  const VertexId c = g.AddVertex(2);
+  g.InsertEdge(a, b, 1, 5);
+  g.InsertEdge(a, c, 2, 5);
+  g.InsertEdge(a, b, 3, 6);
+  // Same edge label, different neighbor labels: separate buckets.
+  EXPECT_EQ(Bucket(g, a, 5, 1).size(), 1u);
+  EXPECT_EQ(Bucket(g, a, 5, 2).size(), 1u);
+  EXPECT_EQ(Bucket(g, a, 6, 1).size(), 1u);
+  EXPECT_TRUE(Bucket(g, a, 6, 2).empty());
+  EXPECT_TRUE(Bucket(g, a, 7, 1).empty());
+  EXPECT_EQ(g.Degree(a), 3u);
+  EXPECT_EQ(AllNeighbors(g, a).size(), 3u);
+}
+
+TEST(TemporalGraph, ParallelEdgesKeepChronologicalOrderInBucket) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  g.AddVertex(0);
+  for (Timestamp t = 1; t <= 5; ++t) g.InsertEdge(a, 1, t);
   ASSERT_EQ(g.Degree(a), 5u);
-  for (size_t i = 0; i + 1 < 5; ++i) {
-    EXPECT_LT(g.Adjacency(a)[i].ts, g.Adjacency(a)[i + 1].ts);
+  const auto bucket = Bucket(g, a, 0, 0);
+  ASSERT_EQ(bucket.size(), 5u);
+  for (size_t i = 0; i + 1 < bucket.size(); ++i) {
+    EXPECT_LT(bucket[i].ts, bucket[i + 1].ts);
   }
 }
 
-TEST(TemporalGraph, FifoRemovalIsConstantPathAndCorrect) {
+TEST(TemporalGraph, FifoRemoval) {
   TemporalGraph g;
   const VertexId a = g.AddVertex(0);
   const VertexId b = g.AddVertex(0);
@@ -44,11 +89,13 @@ TEST(TemporalGraph, FifoRemovalIsConstantPathAndCorrect) {
   g.RemoveEdge(ids[0]);
   EXPECT_FALSE(g.Alive(ids[0]));
   EXPECT_EQ(g.NumAliveEdges(), 3u);
-  EXPECT_EQ(g.Adjacency(a).front().edge, ids[1]);
-  EXPECT_EQ(g.Adjacency(b).front().edge, ids[1]);
+  const auto bucket = Bucket(g, a, 0, 0);
+  ASSERT_EQ(bucket.size(), 3u);
+  EXPECT_EQ(bucket.front().edge, ids[1]);
+  EXPECT_EQ(Bucket(g, b, 0, 0).front().edge, ids[1]);
 }
 
-TEST(TemporalGraph, OutOfOrderRemovalFallsBackToScan) {
+TEST(TemporalGraph, OutOfOrderRemovalPreservesBucketOrder) {
   TemporalGraph g;
   const VertexId a = g.AddVertex(0);
   const VertexId b = g.AddVertex(0);
@@ -56,10 +103,12 @@ TEST(TemporalGraph, OutOfOrderRemovalFallsBackToScan) {
   const EdgeId e0 = g.InsertEdge(a, b, 1);
   const EdgeId e1 = g.InsertEdge(a, c, 2);
   const EdgeId e2 = g.InsertEdge(a, b, 3);
-  g.RemoveEdge(e1);  // middle of a's adjacency
+  g.RemoveEdge(e1);  // middle of a's adjacency — O(1), no scan fallback
   EXPECT_EQ(g.Degree(a), 2u);
-  EXPECT_EQ(g.Adjacency(a)[0].edge, e0);
-  EXPECT_EQ(g.Adjacency(a)[1].edge, e2);
+  const auto bucket = Bucket(g, a, 0, 0);
+  ASSERT_EQ(bucket.size(), 2u);
+  EXPECT_EQ(bucket[0].edge, e0);
+  EXPECT_EQ(bucket[1].edge, e2);
   EXPECT_EQ(g.Degree(c), 0u);
 }
 
@@ -69,17 +118,66 @@ TEST(TemporalGraph, DirectedFlagsOnEntries) {
   const VertexId b = g.AddVertex(0);
   g.InsertEdge(a, b, 1);
   EXPECT_TRUE(g.directed());
-  EXPECT_TRUE(g.Adjacency(a)[0].out);
-  EXPECT_FALSE(g.Adjacency(b)[0].out);
+  EXPECT_TRUE(Bucket(g, a, 0, 0)[0].out);
+  EXPECT_FALSE(Bucket(g, b, 0, 0)[0].out);
 }
 
-TEST(TemporalGraph, ClearEdgesKeepsVertices) {
+TEST(TemporalGraph, SlotsAreRecycledUnderChurn) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  // Window of 4 live edges, churned for 100 arrivals: the slot pool must
+  // stay at the high-water window size (+1 pending tombstone), while
+  // external ids keep growing.
+  std::vector<EdgeId> live;
+  for (Timestamp t = 1; t <= 100; ++t) {
+    live.push_back(g.InsertEdge(0, 1, t));
+    if (live.size() > 4) {
+      g.RemoveEdge(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(g.NumAliveEdges(), 4u);
+  EXPECT_EQ(g.NumEdgesEver(), 100u);
+  EXPECT_LE(g.NumSlots(), 6u);
+  EXPECT_LE(g.IdSpan(), 6u);
+  // The live window is still fully readable with its original ids.
+  for (const EdgeId id : live) {
+    EXPECT_TRUE(g.Alive(id));
+    EXPECT_EQ(g.Edge(id).id, id);
+  }
+  // Long-expired ids resolve to "not alive", never to a recycled edge.
+  EXPECT_FALSE(g.Alive(0));
+  EXPECT_FALSE(g.Alive(50));
+}
+
+TEST(TemporalGraph, RemovedEdgeStaysReadableUntilNextInsert) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdge(0, 1, 1);
+  const EdgeId e1 = g.InsertEdge(0, 1, 2);
+  g.RemoveEdge(e0);
+  // Deferred reclamation: the tombstone record is intact (the shared
+  // context's NotifyRemoved phase reads it).
+  EXPECT_FALSE(g.Alive(e0));
+  EXPECT_EQ(g.Edge(e0).ts, 1);
+  EXPECT_EQ(g.Edge(e0).id, e0);
+  EXPECT_TRUE(g.Alive(e1));
+  g.InsertEdge(0, 1, 3);  // reclaims e0's slot
+  EXPECT_FALSE(g.Alive(e0));
+}
+
+TEST(TemporalGraph, ClearEdgesKeepsVerticesAndRestartsIds) {
   TemporalGraph g = testlib::RunningExampleGraph();
   EXPECT_EQ(g.NumAliveEdges(), 14u);
   g.ClearEdges();
   EXPECT_EQ(g.NumAliveEdges(), 0u);
+  EXPECT_EQ(g.NumEdgesEver(), 0u);
+  EXPECT_EQ(g.NumSlots(), 0u);
   EXPECT_EQ(g.NumVertices(), 7u);
   EXPECT_EQ(g.Degree(testlib::kV4), 0u);
+  EXPECT_EQ(g.InsertEdge(testlib::kV1, testlib::kV2, 1), 0u);
 }
 
 TEST(TemporalGraph, MemoryEstimateGrowsWithEdges) {
@@ -89,6 +187,38 @@ TEST(TemporalGraph, MemoryEstimateGrowsWithEdges) {
   const size_t empty = g.EstimateMemoryBytes();
   for (Timestamp t = 1; t <= 100; ++t) g.InsertEdge(0, 1, t);
   EXPECT_GT(g.EstimateMemoryBytes(), empty);
+}
+
+TEST(TemporalGraph, MemoryEstimateBoundedUnderChurn) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  // Fill a window of 8, then churn 10x as many arrivals through it: the
+  // footprint must not grow with the stream length.
+  std::vector<EdgeId> live;
+  Timestamp t = 1;
+  for (; t <= 8; ++t) live.push_back(g.InsertEdge(0, 1, t));
+  const size_t at_window = g.EstimateMemoryBytes();
+  for (; t <= 88; ++t) {
+    live.push_back(g.InsertEdge(0, 1, t));
+    g.RemoveEdge(live.front());
+    live.erase(live.begin());
+  }
+  EXPECT_LE(g.EstimateMemoryBytes(), at_window * 2);
+}
+
+TEST(TemporalGraph, ForEachLiveEdgeAscendingIdOrder) {
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdge(0, 1, 1);
+  const EdgeId e1 = g.InsertEdge(1, 2, 2);
+  const EdgeId e2 = g.InsertEdge(0, 2, 3);
+  g.RemoveEdge(e1);
+  std::vector<EdgeId> seen;
+  g.ForEachLiveEdge([&](const TemporalEdge& e) { seen.push_back(e.id); });
+  EXPECT_EQ(seen, (std::vector<EdgeId>{e0, e2}));
 }
 
 TEST(TemporalDataset, StatsMatchRunningExample) {
@@ -102,27 +232,6 @@ TEST(TemporalDataset, StatsMatchRunningExample) {
   EXPECT_EQ(s.min_ts, 1);
   EXPECT_EQ(s.max_ts, 14);
   EXPECT_NEAR(s.window_unit, 1.0, 1e-9);
-}
-
-TEST(TemporalGraph, CountsNonFifoRemovals) {
-  TemporalGraph g;
-  g.AddVertex(0);
-  g.AddVertex(0);
-  g.AddVertex(0);
-  const EdgeId a = g.InsertEdge(0, 1, 1);
-  const EdgeId b = g.InsertEdge(0, 1, 2);
-  const EdgeId c = g.InsertEdge(1, 2, 3);
-  EXPECT_EQ(g.non_fifo_removals(), 0u);
-  // b sits behind a in both endpoint deques: linear-scan fallback.
-  g.RemoveEdge(b);
-  EXPECT_EQ(g.non_fifo_removals(), 1u);
-  // a and c are now at the front of every deque: FIFO fast path.
-  g.RemoveEdge(a);
-  g.RemoveEdge(c);
-  EXPECT_EQ(g.non_fifo_removals(), 1u);
-  // ClearEdges resets the per-run stat.
-  g.ClearEdges();
-  EXPECT_EQ(g.non_fifo_removals(), 0u);
 }
 
 TEST(TemporalDataset, RankTimestampsProducesDenseRanks) {

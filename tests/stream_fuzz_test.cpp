@@ -121,6 +121,16 @@ TEST_P(StreamFuzz, TcmFilterAblations) {
     SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("greedy dag");
     Check(&run);
+    if (HasFailure()) return;
+  }
+  {
+    // Storage ablation: flat adjacency scans must be byte-equivalent to
+    // the partitioned default (same verdicts, more entries visited).
+    TcmConfig config;
+    config.partitioned_adjacency = false;
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
+    SCOPED_TRACE("flat adjacency scan");
+    Check(&run);
   }
 }
 

@@ -65,6 +65,12 @@ inline std::vector<FuzzScenario> DefaultFuzzScenarios() {
   add("no_order",           108,  12, 100,  3, 1, 2.0, 0.8, false, 4, 0.00, 40);
   add("total_order",        109,  12, 100,  3, 1, 2.0, 0.8, false, 4, 1.00, 40);
   add("bigger_query",       110,  14, 110,  3, 1, 2.2, 0.8, false, 6, 0.50, 45);
+  // Storage-layer stressors for the label-partitioned, slot-recycled
+  // adjacency: a skewed stream over a wide label alphabet (many sparse
+  // buckets per hub vertex), and a tiny window over a long stream so
+  // every edge slot is recycled many times mid-replay.
+  add("label_skewed_wide",  111,  14, 130,  6, 4, 1.8, 1.2, false, 4, 0.50, 45);
+  add("slot_churn",         112,  12, 150,  3, 2, 2.0, 0.8, false, 3, 0.50, 8);
   return out;
 }
 
