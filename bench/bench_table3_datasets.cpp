@@ -1,11 +1,15 @@
 // Table III: characteristics of the datasets. Prints the signature of each
 // laptop-scaled preset next to the paper's original numbers so the
-// substitution (DESIGN.md §5) is auditable.
+// substitution (DESIGN.md §5) is auditable. With --from=DIR each row is
+// loaded from <DIR>/<name>.tel instead of synthesized (falling back to
+// the preset with a note), so the table can also audit recorded or
+// external streams in the documented file format.
 #include <iostream>
 
 #include "bench_util/experiment.h"
 #include "bench_util/table_printer.h"
 #include "datasets/presets.h"
+#include "io/stream_reader.h"
 
 namespace {
 
@@ -39,8 +43,20 @@ int main(int argc, char** argv) {
                             "mavg", "paper|V|", "paper|E|", "paper-davg",
                             "paper-mavg"});
   for (const PaperRow& row : kPaper) {
-    const tcsm::TemporalDataset ds =
-        tcsm::MakePreset(row.name, args.scale);
+    tcsm::TemporalDataset ds;
+    bool from_file = false;
+    if (!args.from_dir.empty()) {
+      const std::string path = args.from_dir + "/" + row.name + ".tel";
+      auto loaded = tcsm::LoadTelFile(path);
+      if (loaded.ok()) {
+        ds = std::move(loaded).value();
+        from_file = true;
+      } else {
+        std::cout << "note: " << loaded.status().ToString()
+                  << "; synthesizing preset '" << row.name << "'\n";
+      }
+    }
+    if (!from_file) ds = tcsm::MakePreset(row.name, args.scale);
     const tcsm::DatasetStats s = ds.ComputeStats();
     table.AddRow({row.name, std::to_string(s.num_vertices),
                   std::to_string(s.num_edges),

@@ -224,6 +224,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.scale = std::stod(v);
     } else if (const char* v = value_of("--seed=")) {
       args.seed = std::stoull(v);
+    } else if (const char* v = value_of("--from=")) {
+      args.from_dir = v;
     }
   }
   return args;

@@ -82,6 +82,10 @@ struct BenchArgs {
   double time_limit_ms = 800;
   double scale = 1.0;
   uint64_t seed = 7;
+  /// --from=DIR: drivers that support it load `<DIR>/<dataset>.tel`
+  /// instead of synthesizing the preset (docs/REPRODUCING.md), so the
+  /// paper tables can be reproduced on real recorded streams.
+  std::string from_dir;
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv);

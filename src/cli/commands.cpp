@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -19,6 +20,9 @@
 #include "datasets/presets.h"
 #include "datasets/synthetic.h"
 #include "graph/graph_io.h"
+#include "io/replay.h"
+#include "io/stream_reader.h"
+#include "io/stream_writer.h"
 #include "query/query_io.h"
 #include "querygen/query_generator.h"
 
@@ -65,10 +69,14 @@ class FlagSet {
   std::map<std::string, std::string> flags_;
 };
 
+/// Loads either dataset format (`.tel` sniffed by header, else legacy
+/// edge list); the `.tel` header, when present, is returned for window
+/// defaulting.
 std::optional<TemporalDataset> LoadDataset(const FlagSet& flags,
                                            const std::string& path,
-                                           std::ostream& out) {
-  auto ds = LoadEdgeListFile(path, flags.Has("directed"));
+                                           std::ostream& out,
+                                           TelHeader* header = nullptr) {
+  auto ds = LoadAnyDatasetFile(path, flags.Has("directed"), header);
   if (!ds.ok()) {
     out << "error: " << ds.status().ToString() << "\n";
     return std::nullopt;
@@ -94,6 +102,62 @@ std::optional<QueryGraph> LoadQuery(const std::string& path,
   return std::move(q).value();
 }
 
+/// Window precedence shared by run/replay: explicit flag, then the query
+/// file's `w` record, then the `.tel` header's window (0 = unresolved).
+Timestamp ResolveWindow(const FlagSet& flags, const QueryGraph& query,
+                        const TelHeader& header) {
+  const Timestamp flag = flags.GetInt("window", 0);
+  if (flag > 0) return flag;
+  if (query.window_hint() > 0) return query.window_hint();
+  return header.window;
+}
+
+/// Engine factory shared by run/replay; prints an error and returns null
+/// for unknown kinds.
+std::unique_ptr<ContinuousEngine> MakeCliEngine(const std::string& kind,
+                                                const QueryGraph& query,
+                                                const TemporalGraph& graph,
+                                                std::ostream& out) {
+  if (kind == "tcm") return std::make_unique<TcmEngine>(query, graph);
+  if (kind == "timing") return std::make_unique<TimingEngine>(query, graph);
+  if (kind == "symbi") {
+    return std::make_unique<PostFilterEngine>(query, graph);
+  }
+  if (kind == "local") {
+    return std::make_unique<LocalEnumEngine>(query, graph);
+  }
+  out << "error: unknown engine '" << kind << "'\n";
+  return nullptr;
+}
+
+/// Builds the synthetic dataset named by `kind` ("random" or a preset);
+/// prints an error and returns nullopt for unknown presets.
+std::optional<TemporalDataset> BuildSynthetic(const FlagSet& flags,
+                                              const std::string& kind,
+                                              std::ostream& out) {
+  if (kind == "random") {
+    SyntheticSpec spec;
+    spec.num_vertices = static_cast<size_t>(flags.GetInt("vertices", 1000));
+    spec.num_edges = static_cast<size_t>(flags.GetInt("edges", 10000));
+    spec.num_vertex_labels =
+        static_cast<size_t>(flags.GetInt("vlabels", 1));
+    spec.num_edge_labels = static_cast<size_t>(flags.GetInt("elabels", 1));
+    spec.avg_parallel_edges = flags.GetDouble("parallel", 1.5);
+    spec.directed = flags.Has("directed");
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    return GenerateSynthetic(spec);
+  }
+  bool known = false;
+  for (const auto& p : PresetNames()) known = known || p == kind;
+  if (!known) {
+    out << "error: unknown preset '" << kind << "'\n";
+    return std::nullopt;
+  }
+  SyntheticSpec spec = PresetSpec(kind, flags.GetDouble("scale", 1.0));
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", spec.seed));
+  return GenerateSynthetic(spec);
+}
+
 void PrintStats(const TemporalDataset& ds, std::ostream& out) {
   const DatasetStats s = ds.ComputeStats();
   TablePrinter table({"|V|", "|E|", "|Sv|", "|Se|", "davg", "mavg",
@@ -110,9 +174,10 @@ void PrintStats(const TemporalDataset& ds, std::ostream& out) {
 
 class StreamPrintSink : public MatchSink {
  public:
-  explicit StreamPrintSink(std::ostream& out) : out_(out) {}
+  explicit StreamPrintSink(std::ostream& out, std::string prefix = "")
+      : out_(out), prefix_(std::move(prefix)) {}
   void OnMatch(const Embedding& m, MatchKind kind, uint64_t) override {
-    out_ << (kind == MatchKind::kOccurred ? "+" : "-");
+    out_ << prefix_ << (kind == MatchKind::kOccurred ? "+" : "-");
     for (size_t u = 0; u < m.vertices.size(); ++u) {
       out_ << " u" << u << ":" << m.vertices[u];
     }
@@ -125,19 +190,95 @@ class StreamPrintSink : public MatchSink {
 
  private:
   std::ostream& out_;
+  std::string prefix_;
 };
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void PrintStreamResult(const std::string& engine_name,
+                       const StreamResult& res, std::ostream& out) {
+  out << "engine=" << engine_name << " threads=" << res.num_threads
+      << " events=" << res.events
+      << " occurred=" << res.occurred << " expired=" << res.expired
+      << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
+      << " peak_bytes=" << res.peak_memory_bytes
+      << " adj_scanned=" << res.adj_entries_scanned
+      << " adj_matched=" << res.adj_entries_matched
+      << (res.completed ? "" : " (INCOMPLETE: limit hit)") << "\n";
+}
 
 }  // namespace
 
 int CmdStats(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
   if (flags.positional().size() != 1) {
-    out << "usage: tcsm stats <edges-file> [--directed] [--labels=file]\n";
+    out << "usage: tcsm stats <dataset> [--directed] [--labels=file]\n";
     return 2;
   }
   const auto ds = LoadDataset(flags, flags.positional()[0], out);
   if (!ds) return 1;
   PrintStats(*ds, out);
+  return 0;
+}
+
+int CmdGen(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().empty() || flags.positional().size() > 2) {
+    out << "usage: tcsm gen <preset|random> [<out.tel>|-] [--scale=S] "
+           "[--seed=K] [--window=D] [--expiry=explicit] [--vertices=N "
+           "--edges=M --vlabels=a --elabels=b --parallel=p --directed]\n"
+           "   presets: ";
+    for (const auto& p : PresetNames()) out << p << " ";
+    out << "\n";
+    return 2;
+  }
+  const auto ds = BuildSynthetic(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+
+  TelWriteOptions opts;
+  opts.window = flags.GetInt("window", 0);
+  const std::string expiry = flags.GetString("expiry", "derived");
+  if (expiry == "explicit") {
+    opts.explicit_expiry = true;
+  } else if (expiry != "derived") {
+    out << "error: bad --expiry (expected 'derived' or 'explicit')\n";
+    return 1;
+  }
+  const std::string path = flags.positional().size() == 2
+                               ? flags.positional()[1]
+                               : std::string("-");
+  Status s;
+  if (path == "-") {
+    // Stream straight to the caller: `tcsm gen ... | tcsm replay - q.tq`.
+    s = WriteTel(*ds, opts, out);
+  } else {
+    s = SaveTelFile(*ds, opts, path);
+    if (s.ok()) {
+      out << "wrote " << ds->NumEdges() << " edges / " << ds->NumVertices()
+          << " vertices to " << path << "\n";
+      PrintStats(*ds, out);
+    }
+  }
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -151,51 +292,29 @@ int CmdGenData(const Args& args, std::ostream& out) {
     out << "\n";
     return 2;
   }
-  const std::string kind = flags.positional()[0];
   const std::string path = flags.positional()[1];
-  TemporalDataset ds;
-  if (kind == "random") {
-    SyntheticSpec spec;
-    spec.num_vertices = static_cast<size_t>(flags.GetInt("vertices", 1000));
-    spec.num_edges = static_cast<size_t>(flags.GetInt("edges", 10000));
-    spec.num_vertex_labels =
-        static_cast<size_t>(flags.GetInt("vlabels", 1));
-    spec.num_edge_labels = static_cast<size_t>(flags.GetInt("elabels", 1));
-    spec.avg_parallel_edges = flags.GetDouble("parallel", 1.5);
-    spec.directed = flags.Has("directed");
-    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-    ds = GenerateSynthetic(spec);
-  } else {
-    bool known = false;
-    for (const auto& p : PresetNames()) known = known || p == kind;
-    if (!known) {
-      out << "error: unknown preset '" << kind << "'\n";
-      return 1;
-    }
-    SyntheticSpec spec = PresetSpec(kind, flags.GetDouble("scale", 1.0));
-    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", spec.seed));
-    ds = GenerateSynthetic(spec);
-  }
-  const Status s = SaveEdgeListFile(ds, path);
+  const auto ds = BuildSynthetic(flags, flags.positional()[0], out);
+  if (!ds) return 1;
+  const Status s = SaveEdgeListFile(*ds, path);
   if (!s.ok()) {
     out << "error: " << s.ToString() << "\n";
     return 1;
   }
   // Vertex labels go to a sibling file.
   std::ofstream lf(path + ".labels");
-  for (size_t v = 0; v < ds.vertex_labels.size(); ++v) {
-    lf << v << ' ' << ds.vertex_labels[v] << '\n';
+  for (size_t v = 0; v < ds->vertex_labels.size(); ++v) {
+    lf << v << ' ' << ds->vertex_labels[v] << '\n';
   }
-  out << "wrote " << ds.NumEdges() << " edges / " << ds.NumVertices()
+  out << "wrote " << ds->NumEdges() << " edges / " << ds->NumVertices()
       << " vertices to " << path << " (+ " << path << ".labels)\n";
-  PrintStats(ds, out);
+  PrintStats(*ds, out);
   return 0;
 }
 
 int CmdGenQuery(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
   if (flags.positional().size() != 2) {
-    out << "usage: tcsm gen-query <edges-file> <out-file> [--size=m] "
+    out << "usage: tcsm gen-query <dataset> <out-file> [--size=m] "
            "[--density=d] [--window=w] [--seed=K] [--directed] "
            "[--labels=file]\n";
     return 2;
@@ -226,18 +345,29 @@ int CmdGenQuery(const Args& args, std::ostream& out) {
 
 int CmdRun(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
-  if (flags.positional().size() != 2 || !flags.Has("window")) {
-    out << "usage: tcsm run <edges-file> <query-file> --window=w "
+  if (flags.positional().size() != 2) {
+    out << "usage: tcsm run <dataset> <query-file> [--window=w] "
            "[--directed] [--labels=file] [--limit_ms=T] [--threads=N] "
            "[--engine=tcm|timing|symbi|local] [--print] [--canonical]\n";
     return 2;
   }
-  const auto ds = LoadDataset(flags, flags.positional()[0], out);
+  TelHeader header;
+  const auto ds = LoadDataset(flags, flags.positional()[0], out, &header);
   if (!ds) return 1;
   const auto q = LoadQuery(flags.positional()[1], out);
   if (!q) return 1;
   if (q->directed() != ds->directed) {
     out << "error: query and data graph directedness differ\n";
+    return 1;
+  }
+  const Timestamp window = ResolveWindow(flags, *q, header);
+  if (window <= 0) {
+    out << "error: no window (pass --window=w, or use a query/.tel file "
+           "that records one)\n";
+    return 1;
+  }
+  if (window > kMaxTelTimestamp) {  // ts + window must not overflow
+    out << "error: window too large (must stay below 2^61)\n";
     return 1;
   }
   const size_t threads =
@@ -256,20 +386,9 @@ int CmdRun(const Args& args, std::ostream& out) {
   // parallel context spawns no workers and is the serial context.
   ParallelStreamContext context(GraphSchema{ds->directed, ds->vertex_labels},
                                 threads);
-  std::unique_ptr<ContinuousEngine> engine;
-  const std::string kind = flags.GetString("engine", "tcm");
-  if (kind == "tcm") {
-    engine = std::make_unique<TcmEngine>(*q, context.graph());
-  } else if (kind == "timing") {
-    engine = std::make_unique<TimingEngine>(*q, context.graph());
-  } else if (kind == "symbi") {
-    engine = std::make_unique<PostFilterEngine>(*q, context.graph());
-  } else if (kind == "local") {
-    engine = std::make_unique<LocalEnumEngine>(*q, context.graph());
-  } else {
-    out << "error: unknown engine '" << kind << "'\n";
-    return 1;
-  }
+  std::unique_ptr<ContinuousEngine> engine = MakeCliEngine(
+      flags.GetString("engine", "tcm"), *q, context.graph(), out);
+  if (!engine) return 1;
   context.Attach(engine.get());
 
   StreamPrintSink print_sink(out);
@@ -286,24 +405,175 @@ int CmdRun(const Args& args, std::ostream& out) {
   }
   engine->set_sink(sink);
   StreamConfig config;
-  config.window = flags.GetInt("window", 0);
+  config.window = window;
   config.time_limit_ms = flags.GetDouble("limit_ms", 0);
   const StreamResult res = RunStream(*ds, config, &context);
-  out << "engine=" << engine->name() << " threads=" << res.num_threads
-      << " events=" << res.events
-      << " occurred=" << res.occurred << " expired=" << res.expired
-      << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
-      << " peak_bytes=" << res.peak_memory_bytes
-      << " adj_scanned=" << res.adj_entries_scanned
-      << " adj_matched=" << res.adj_entries_matched
-      << (res.completed ? "" : " (INCOMPLETE: limit hit)") << "\n";
+  PrintStreamResult(engine->name(), res, out);
   return res.completed ? 0 : 3;
+}
+
+int CmdReplay(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() < 2) {
+    out << "usage: tcsm replay <stream.tel|-> <query-file>... [--window=w] "
+           "[--threads=N] [--max-events=N] [--limit_ms=T] "
+           "[--engine=tcm|timing|symbi|local] [--print] [--canonical] "
+           "[--json]\n";
+    return 2;
+  }
+  const std::string stream_path = flags.positional()[0];
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (stream_path != "-") {
+    file.open(stream_path);
+    if (!file) {
+      out << "error: cannot open " << stream_path << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+  StreamReader reader(*in, stream_path == "-" ? "<stdin>" : stream_path);
+  Status s = reader.Init();
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  if (!reader.has_vertex_universe()) {
+    out << "error: " << reader.source()
+        << ": streaming replay needs the vertex universe declared up "
+           "front (vertices=N in the header, or v records)\n";
+    return 1;
+  }
+
+  std::vector<QueryGraph> queries;
+  std::vector<std::string> query_paths(flags.positional().begin() + 1,
+                                       flags.positional().end());
+  for (const std::string& path : query_paths) {
+    auto q = LoadQuery(path, out);
+    if (!q) return 1;
+    if (q->directed() != reader.header().directed) {
+      out << "error: " << path
+          << ": query and stream directedness differ\n";
+      return 1;
+    }
+    queries.push_back(std::move(*q));
+  }
+  const bool json = flags.Has("json");
+  const size_t threads =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("threads", 1)));
+  // --json promises machine-readable stdout: exactly one JSON line, so
+  // the advisory chatter below is suppressed under it.
+  if (threads > 1 && queries.size() == 1 && !json) {
+    out << "note: one query attaches a single engine; --threads=" << threads
+        << " cannot speed up one engine (pass several query files)\n";
+  }
+
+  ParallelStreamContext context(reader.schema(), threads);
+  const std::string kind = flags.GetString("engine", "tcm");
+  std::vector<std::unique_ptr<ContinuousEngine>> engines;
+  std::vector<std::unique_ptr<MatchSink>> owned_sinks;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto engine = MakeCliEngine(kind, queries[i], context.graph(), out);
+    if (!engine) return 1;
+    MatchSink* sink = nullptr;
+    if (flags.Has("print")) {
+      // Single-query output is byte-compatible with `run --print`; with
+      // several queries each line is prefixed by its query index.
+      const std::string prefix =
+          queries.size() == 1 ? "" : "q" + std::to_string(i) + " ";
+      owned_sinks.push_back(std::make_unique<StreamPrintSink>(out, prefix));
+      sink = owned_sinks.back().get();
+    }
+    if (flags.Has("canonical")) {
+      // Same semantics as `run --canonical`: collapse automorphic
+      // mappings (over a counting sink when nothing is printed).
+      if (sink == nullptr) {
+        owned_sinks.push_back(std::make_unique<CountingSink>());
+        sink = owned_sinks.back().get();
+      }
+      owned_sinks.push_back(
+          std::make_unique<CanonicalSink>(queries[i], sink));
+      sink = owned_sinks.back().get();
+      if (!json) {
+        out << "automorphism group size: "
+            << static_cast<CanonicalSink*>(sink)->GroupSize() << "\n";
+      }
+    }
+    if (sink != nullptr) engine->set_sink(sink);
+    context.Attach(engine.get());
+    engines.push_back(std::move(engine));
+  }
+
+  // Window precedence as in `run`, except every query file gets a say:
+  // when no --window is passed, two queries recording different w
+  // windows is an error the user must break explicitly, not a silent
+  // pick of the first file's value.
+  const Timestamp window_flag = flags.GetInt("window", 0);
+  Timestamp hint = 0;
+  for (size_t i = 0; i < queries.size() && window_flag <= 0; ++i) {
+    const Timestamp w = queries[i].window_hint();
+    if (w <= 0) continue;
+    if (hint == 0) {
+      hint = w;
+    } else if (hint != w) {
+      out << "error: query files disagree on their recorded windows ("
+          << hint << " vs " << w << " in " << query_paths[i]
+          << "); pass --window=w explicitly\n";
+      return 1;
+    }
+  }
+  if (reader.header().explicit_expiry && window_flag > 0 && !json) {
+    out << "note: " << reader.source()
+        << " carries its own expiry schedule (expiry=explicit); "
+           "--window is ignored\n";
+  }
+  ReplayOptions opts;
+  opts.window = window_flag > 0 ? window_flag : hint;
+  opts.time_limit_ms = flags.GetDouble("limit_ms", 0);
+  opts.max_arrivals =
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("max-events", 0)));
+  auto res = ReplayStream(&reader, opts, &context);
+  if (!res.ok()) {
+    out << "error: " << res.status().ToString() << "\n";
+    return 1;
+  }
+  const StreamResult& r = res.value();
+  if (json) {
+    out << "{\"stream\":\"" << JsonEscape(reader.source())
+        << "\",\"engine\":\"" << kind
+        << "\",\"threads\":" << r.num_threads << ",\"events\":" << r.events
+        << ",\"occurred\":" << r.occurred << ",\"expired\":" << r.expired
+        << ",\"elapsed_ms\":" << FormatDouble(r.elapsed_ms, 3)
+        << ",\"peak_bytes\":" << r.peak_memory_bytes
+        << ",\"adj_scanned\":" << r.adj_entries_scanned
+        << ",\"adj_matched\":" << r.adj_entries_matched
+        << ",\"completed\":" << (r.completed ? "true" : "false")
+        << ",\"queries\":[";
+    for (size_t i = 0; i < engines.size(); ++i) {
+      const EngineCounters& c = engines[i]->counters();
+      out << (i == 0 ? "" : ",") << "{\"file\":\""
+          << JsonEscape(query_paths[i]) << "\",\"occurred\":" << c.occurred
+          << ",\"expired\":" << c.expired << "}";
+    }
+    out << "]}\n";
+  } else {
+    PrintStreamResult(engines[0]->name(), r, out);
+    if (engines.size() > 1) {
+      for (size_t i = 0; i < engines.size(); ++i) {
+        const EngineCounters& c = engines[i]->counters();
+        out << "  q" << i << " " << query_paths[i]
+            << " occurred=" << c.occurred << " expired=" << c.expired
+            << "\n";
+      }
+    }
+  }
+  return r.completed ? 0 : 3;
 }
 
 int CmdSnapshot(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
   if (flags.positional().size() != 2) {
-    out << "usage: tcsm snapshot <edges-file> <query-file> [--window=w] "
+    out << "usage: tcsm snapshot <dataset> <query-file> [--window=w] "
            "[--directed] [--labels=file] [--limit_ms=T] [--print]\n";
     return 2;
   }
@@ -334,9 +604,11 @@ int Main(int argc, char** argv, std::ostream& out, std::ostream& err) {
     err << "tcsm — time-constrained continuous subgraph matching\n"
            "subcommands:\n"
            "  stats      dataset characteristics\n"
-           "  gen-data   synthesize a temporal edge list\n"
+           "  gen        synthesize a stream as a .tel file (or stdout)\n"
+           "  gen-data   synthesize a legacy edge list (+ .labels)\n"
            "  gen-query  extract a temporal query by random walk\n"
-           "  run        continuous matching over a stream\n"
+           "  run        continuous matching over an in-memory stream\n"
+           "  replay     file-driven continuous matching (.tel or stdin)\n"
            "  snapshot   one-shot matching over the full graph\n";
     return 2;
   };
@@ -345,9 +617,11 @@ int Main(int argc, char** argv, std::ostream& out, std::ostream& err) {
   Args rest;
   for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
   if (cmd == "stats") return CmdStats(rest, out);
+  if (cmd == "gen") return CmdGen(rest, out);
   if (cmd == "gen-data") return CmdGenData(rest, out);
   if (cmd == "gen-query") return CmdGenQuery(rest, out);
   if (cmd == "run") return CmdRun(rest, out);
+  if (cmd == "replay") return CmdReplay(rest, out);
   if (cmd == "snapshot") return CmdSnapshot(rest, out);
   return usage();
 }

@@ -2,6 +2,11 @@
 // the library so they are unit-testable. Each command takes its argument
 // list (excluding the subcommand name) and an output stream, and returns
 // a process exit code.
+//
+// Dataset-file arguments accept either format of docs/FILE_FORMATS.md:
+// `.tel` streams (detected by their header; directedness and vertex
+// labels come from the file) or legacy SNAP-style edge lists (directed
+// via --directed, labels via --labels=<file>).
 #ifndef TCSM_CLI_COMMANDS_H_
 #define TCSM_CLI_COMMANDS_H_
 
@@ -13,29 +18,48 @@ namespace tcsm::cli {
 
 using Args = std::vector<std::string>;
 
-/// tcsm stats <edges-file> [--directed] [--labels=<file>]
+/// tcsm stats <dataset> [--directed] [--labels=<file>]
 /// Prints Table III-style dataset characteristics.
 int CmdStats(const Args& args, std::ostream& out);
+
+/// tcsm gen <preset|random> [<out.tel>|-] [--scale=S] [--seed=K]
+///   [--window=D] [--expiry=explicit] [--vertices=N --edges=M --vlabels=a
+///    --elabels=b --parallel=p --directed]
+/// Synthesizes a temporal stream and writes it as a `.tel` file
+/// (stdout with `-`, the default — `tcsm gen` pipes into `tcsm replay -`).
+int CmdGen(const Args& args, std::ostream& out);
 
 /// tcsm gen-data <preset|random> <out-file> [--scale=S] [--seed=K]
 ///   [--vertices=N --edges=M --vlabels=a --elabels=b --parallel=p
 ///    --directed]
-/// Writes a synthetic temporal edge list (and a .labels file).
+/// Writes a legacy edge list (and a .labels file). Prefer `tcsm gen`.
 int CmdGenData(const Args& args, std::ostream& out);
 
-/// tcsm gen-query <edges-file> <out-file> [--size=m] [--density=d]
+/// tcsm gen-query <dataset> <out-file> [--size=m] [--density=d]
 ///   [--window=w] [--seed=K] [--directed] [--labels=<file>]
-/// Extracts a random-walk query with a density-targeted temporal order.
+/// Extracts a random-walk query with a density-targeted temporal order;
+/// --window is recorded in the query file as its suggested replay delta.
 int CmdGenQuery(const Args& args, std::ostream& out);
 
-/// tcsm run <edges-file> <query-file> --window=w [--directed]
-///   [--labels=<file>] [--limit_ms=T] [--engine=tcm|timing|symbi|local]
-///   [--print]
-/// Streams the dataset and reports occurred/expired counts (or every
-/// match with --print).
+/// tcsm run <dataset> <query-file> [--window=w] [--directed]
+///   [--labels=<file>] [--limit_ms=T] [--threads=N]
+///   [--engine=tcm|timing|symbi|local] [--print] [--canonical]
+/// Loads the dataset into memory and streams it, reporting
+/// occurred/expired counts (or every match with --print). The window
+/// falls back to the query file's `w` record, then the `.tel` header.
 int CmdRun(const Args& args, std::ostream& out);
 
-/// tcsm snapshot <edges-file> <query-file> [--window=w] [--directed]
+/// tcsm replay <stream.tel|-> <query-file>... [--window=w] [--threads=N]
+///   [--max-events=N] [--limit_ms=T] [--engine=tcm|timing|symbi|local]
+///   [--print] [--canonical] [--json]
+/// File-driven continuous matching: pulls the stream incrementally off
+/// disk (or stdin with `-`) in O(window) memory — the stream is never
+/// loaded — and fans events out to one engine per query file across
+/// --threads workers. Match-stream output is byte-identical to `run` on
+/// the same data (tests/io_roundtrip_test.cpp enforces this).
+int CmdReplay(const Args& args, std::ostream& out);
+
+/// tcsm snapshot <dataset> <query-file> [--window=w] [--directed]
 ///   [--labels=<file>] [--limit_ms=T] [--print]
 /// One-shot matching over the full graph (TOM's setting).
 int CmdSnapshot(const Args& args, std::ostream& out);

@@ -1,0 +1,128 @@
+#include "io/replay.h"
+
+#include <deque>
+
+#include "common/logging.h"
+#include "common/memory_meter.h"
+#include "common/timer.h"
+
+namespace tcsm {
+
+StatusOr<StreamResult> ReplayStream(StreamReader* reader,
+                                    const ReplayOptions& options,
+                                    SharedStreamContext* context) {
+  const bool explicit_mode = reader->header().explicit_expiry;
+  Timestamp window = options.window > 0 ? options.window
+                                        : reader->header().window;
+  if (!explicit_mode && window <= 0) {
+    return Status::InvalidArgument(
+        reader->source() +
+        ": no expiry window (pass one explicitly or record window= in the "
+        "header)");
+  }
+  if (!explicit_mode && window > kMaxTelTimestamp) {
+    // Same bound the reader enforces on timestamps: ts + window must not
+    // overflow, however the window reached us. (Explicit-expiry streams
+    // never form that sum — their window is ignored entirely.)
+    return Status::InvalidArgument("window too large (must stay below 2^61)");
+  }
+
+  StreamResult result;
+  Deadline deadline(options.time_limit_ms);
+  context->set_deadline(options.time_limit_ms > 0 ? &deadline : nullptr);
+  const size_t sample_every =
+      options.memory_sample_every > 0 ? options.memory_sample_every : 64;
+
+  PeakMeter peak;
+  StopWatch watch;
+  const EngineCounters base = context->AggregateCounters();
+
+  // FIFO of delivered-but-not-expired edges: the O(window) live state.
+  std::deque<TemporalEdge> live;
+  StreamRecord pending;
+  bool has_pending = false;
+  bool stopped = false;    // no further reads (EOF or arrival cap)
+  bool truncated = false;  // stopped by the cap, not by the file ending
+  size_t arrivals = 0;
+  EdgeId next_id = 0;
+
+  const auto pull = [&]() -> Status {
+    if (has_pending || stopped) return Status::Ok();
+    bool done = false;
+    const Status s = reader->Next(&pending, &done);
+    if (!s.ok()) return s;
+    if (done) {
+      stopped = true;
+    } else {
+      has_pending = true;
+    }
+    return Status::Ok();
+  };
+
+  Status s = pull();
+  while (s.ok()) {
+    if (deadline.ExpiredNow() || context->overflowed()) {
+      result.completed = false;
+      break;
+    }
+    if (options.max_arrivals > 0 && arrivals >= options.max_arrivals &&
+        !stopped) {
+      // Rate control: stop consuming the stream; live edges still expire.
+      has_pending = false;
+      stopped = true;
+      truncated = true;
+    }
+    const bool have_arrival =
+        has_pending && pending.kind == StreamRecord::Kind::kArrival;
+    bool do_expire;
+    if (explicit_mode) {
+      // The file carries its own schedule; a truncated run (cap hit)
+      // drains the live FIFO so every delivered arrival still expires.
+      do_expire =
+          (has_pending && pending.kind == StreamRecord::Kind::kExpiry) ||
+          (stopped && truncated && !live.empty());
+    } else {
+      do_expire = !live.empty() &&
+                  (!have_arrival ||
+                   live.front().ts + window <= pending.edge.ts);
+    }
+    if (do_expire) {
+      TCSM_CHECK(!live.empty());
+      context->OnEdgeExpiry(live.front());
+      live.pop_front();
+      if (has_pending && pending.kind == StreamRecord::Kind::kExpiry) {
+        has_pending = false;
+      }
+    } else if (have_arrival) {
+      pending.edge.id = next_id++;
+      context->OnEdgeArrival(pending.edge);
+      live.push_back(pending.edge);
+      ++arrivals;
+      has_pending = false;
+    } else {
+      break;  // stream exhausted and nothing left to expire
+    }
+    ++result.events;
+    if (result.events % sample_every == 0) {
+      peak.Observe(context->EstimateMemoryBytes());
+    }
+    s = pull();
+  }
+  context->set_deadline(nullptr);
+  if (!s.ok()) return s;
+  peak.Observe(context->EstimateMemoryBytes());
+
+  result.elapsed_ms = watch.ElapsedMs();
+  const EngineCounters now = context->AggregateCounters();
+  result.occurred = now.occurred - base.occurred;
+  result.expired = now.expired - base.expired;
+  result.adj_entries_scanned =
+      now.adj_entries_scanned - base.adj_entries_scanned;
+  result.adj_entries_matched =
+      now.adj_entries_matched - base.adj_entries_matched;
+  result.peak_memory_bytes = peak.peak_bytes();
+  result.num_threads = context->num_threads();
+  return result;
+}
+
+}  // namespace tcsm

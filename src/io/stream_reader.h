@@ -1,0 +1,118 @@
+// Incremental `.tel` stream parser. A StreamReader pulls one record at a
+// time off an istream in O(1) memory — it never buffers the stream — so a
+// multi-GB capture can feed a SharedStreamContext without ever being
+// resident (the replay driver in io/replay.h adds the O(window) live-edge
+// queue needed to deliver expirations). Every parse error is a Status
+// carrying "<source>:<line>: <what>"; malformed input never aborts.
+#ifndef TCSM_IO_STREAM_READER_H_
+#define TCSM_IO_STREAM_READER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "graph/temporal_dataset.h"
+#include "graph/temporal_edge.h"
+#include "io/tel_format.h"
+
+namespace tcsm {
+
+/// One data record of a `.tel` stream.
+struct StreamRecord {
+  enum class Kind { kArrival, kExpiry };
+  Kind kind = Kind::kArrival;
+  /// For arrivals: src/dst/ts/label as parsed (id is assigned by the
+  /// replay driver in arrival order). For explicit expirations only `ts`
+  /// is meaningful — the oldest live edge is the one that expires.
+  TemporalEdge edge;
+};
+
+class StreamReader {
+ public:
+  /// Reads from `in`, which must outlive the reader. `source` names the
+  /// stream in diagnostics ("g.tel:12: bad edge record").
+  explicit StreamReader(std::istream& in, std::string source = "<stream>");
+
+  /// Parses the header line and the `v`-record prefix (vertex labels must
+  /// precede the first data record, so the schema is known before any
+  /// engine is built). Must be called once, before Next().
+  Status Init();
+
+  const TelHeader& header() const { return header_; }
+  const std::string& source() const { return source_; }
+
+  /// Vertex labels of the declared universe (label 0 where no `v` record
+  /// overrides it). Valid after Init().
+  const std::vector<Label>& vertex_labels() const { return vertex_labels_; }
+
+  /// True when the stream declared its vertex universe (`vertices=N`
+  /// and/or `v` records) — required for streaming replay, where engines
+  /// bind to the schema before the first edge is read.
+  bool has_vertex_universe() const { return has_universe_; }
+
+  /// Schema of the stream. Valid after Init(); requires
+  /// has_vertex_universe().
+  GraphSchema schema() const;
+
+  /// Pulls the next data record. On clean end of stream sets *done and
+  /// returns Ok without touching *record. Self loops are dropped (they
+  /// can never participate in a match; see DESIGN.md §2), so a returned
+  /// arrival is always usable. Validates monotone timestamps, vertex
+  /// ranges, and the expiry-mode discipline of the header.
+  Status Next(StreamRecord* record, bool* done);
+
+  /// 1-based line number of the last line consumed (for callers layering
+  /// their own diagnostics).
+  size_t line() const { return lineno_; }
+
+ private:
+  Status Fail(const std::string& what) const;
+  Status ParseHeader(const std::string& body);
+  /// Reads the next significant (non-blank, non-comment) line into
+  /// *body; false on EOF.
+  bool NextSignificantLine(std::string* body);
+
+  std::istream& in_;
+  std::string source_;
+  TelHeader header_;
+  std::vector<Label> vertex_labels_;
+  std::vector<bool> label_declared_;
+  bool has_universe_ = false;
+  bool init_done_ = false;
+  size_t lineno_ = 0;
+  /// First data line read ahead by Init() while scanning the v-prefix.
+  std::string pending_;
+  bool has_pending_ = false;
+  Timestamp last_ts_ = kMinusInfinity;
+  size_t arrivals_ = 0;
+  size_t expiries_ = 0;
+};
+
+/// Loads a whole `.tel` stream into a TemporalDataset (arrivals become the
+/// edge list; explicit expirations are validated and dropped — a dataset
+/// models arrivals, expiry is reconstructed from the window at replay
+/// time). The header's window, if any, is returned through *header_out
+/// (may be null).
+StatusOr<TemporalDataset> ReadTelDataset(std::istream& in,
+                                         const std::string& source,
+                                         TelHeader* header_out = nullptr);
+
+StatusOr<TemporalDataset> LoadTelFile(const std::string& path,
+                                      TelHeader* header_out = nullptr);
+
+/// True when `path`'s first significant line carries the `.tel` magic.
+bool SniffTelFile(const std::string& path);
+
+/// Loads `path` as `.tel` when it carries the magic (directedness and
+/// labels then come from the file), otherwise as a legacy SNAP-style edge
+/// list with the caller's directedness. This is what lets every `tcsm`
+/// subcommand accept either format.
+StatusOr<TemporalDataset> LoadAnyDatasetFile(const std::string& path,
+                                             bool directed_fallback,
+                                             TelHeader* header_out = nullptr);
+
+}  // namespace tcsm
+
+#endif  // TCSM_IO_STREAM_READER_H_

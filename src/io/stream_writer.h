@@ -1,0 +1,82 @@
+// `.tel` stream serialization: an incremental StreamWriter that records a
+// live stream event by event (so any stream a context can observe — a
+// synthetic preset, a fuzz-catalogue scenario, production ingest — becomes
+// a shareable, replayable file), plus whole-dataset conveniences. The
+// writer validates what it emits (monotone timestamps, vertex ranges,
+// expiry discipline), so a recorded file always parses back.
+#ifndef TCSM_IO_STREAM_WRITER_H_
+#define TCSM_IO_STREAM_WRITER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/temporal_dataset.h"
+#include "graph/temporal_edge.h"
+#include "io/tel_format.h"
+
+namespace tcsm {
+
+struct TelWriteOptions {
+  /// Recorded into the header as `window=D` when > 0 (the replay default).
+  /// Required when `explicit_expiry` is set on the whole-dataset writers,
+  /// which derive the expiry schedule from it.
+  Timestamp window = 0;
+  /// Emit `expiry=explicit` and interleave `x` records instead of leaving
+  /// expiry derivation to replay time.
+  bool explicit_expiry = false;
+  /// Write a `v` record for every vertex rather than only those with a
+  /// non-zero label (label 0 is the format's default).
+  bool all_vertex_labels = false;
+};
+
+class StreamWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit StreamWriter(std::ostream& out);
+
+  /// Emits the header and the vertex-label prefix. Must be called once,
+  /// before any record.
+  Status BeginStream(bool directed, const std::vector<Label>& vertex_labels,
+                     const TelWriteOptions& options = {});
+
+  /// Appends an arrival record. Timestamps must be non-decreasing and
+  /// endpoints must lie in the declared universe; self loops are rejected
+  /// (the matcher can never use them, and a file that round-trips must
+  /// not contain records the reader drops).
+  Status RecordArrival(const TemporalEdge& edge);
+
+  /// Appends an explicit expiry (`x`) record for the oldest live edge.
+  /// Only valid in explicit-expiry mode with at least one live edge.
+  Status RecordExpiry(Timestamp ts);
+
+  /// Flushes and reports any stream write failure (e.g. disk full).
+  Status Finish();
+
+  size_t num_arrivals() const { return arrivals_; }
+
+ private:
+  std::ostream& out_;
+  bool begun_ = false;
+  bool explicit_expiry_ = false;
+  size_t num_vertices_ = 0;
+  Timestamp last_ts_ = kMinusInfinity;
+  size_t arrivals_ = 0;
+  size_t expiries_ = 0;
+};
+
+/// Serializes a dataset as a `.tel` stream. With
+/// `options.explicit_expiry` the expiry schedule (edge e dies at
+/// e.ts + window, expirations before arrivals on ties) is materialized as
+/// `x` records, which makes the file self-contained: replay needs no
+/// window parameter and reproduces the exact event sequence.
+Status WriteTel(const TemporalDataset& dataset,
+                const TelWriteOptions& options, std::ostream& out);
+
+Status SaveTelFile(const TemporalDataset& dataset,
+                   const TelWriteOptions& options, const std::string& path);
+
+}  // namespace tcsm
+
+#endif  // TCSM_IO_STREAM_WRITER_H_

@@ -95,8 +95,17 @@ class QueryGraph {
 
   std::string ToString() const;
 
+  /// Suggested replay window delta, carried by query files as a `w`
+  /// record (docs/FILE_FORMATS.md): a query is authored against a window
+  /// size, so shipping the two together keeps a file pair runnable
+  /// without out-of-band parameters. 0 = no suggestion; never consulted
+  /// by the matching semantics themselves.
+  Timestamp window_hint() const { return window_hint_; }
+  void set_window_hint(Timestamp window) { window_hint_ = window; }
+
  private:
   bool directed_;
+  Timestamp window_hint_ = 0;
   std::vector<Label> vertex_labels_;
   std::vector<QueryEdge> edges_;
   std::vector<std::vector<EdgeId>> incident_;

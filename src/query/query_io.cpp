@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/tel_format.h"
+
 namespace tcsm {
 
 StatusOr<QueryGraph> ParseQuery(std::istream& in) {
@@ -56,6 +58,16 @@ StatusOr<QueryGraph> ParseQuery(std::istream& in) {
       const Status s = query.AddOrder(static_cast<EdgeId>(a),
                                       static_cast<EdgeId>(b));
       if (!s.ok()) return fail(s.message());
+    } else if (tag == "w") {
+      if (!have_header) return fail("window before header");
+      Timestamp w = 0;
+      // Same bound as the .tel format: ts + window must never overflow,
+      // and run/replay feed this hint straight into that sum.
+      if (!(ls >> w) || w <= 0 || w > kMaxTelTimestamp) {
+        return fail("bad window (must be a positive integer below 2^61)");
+      }
+      if (query.window_hint() != 0) return fail("duplicate window record");
+      query.set_window_hint(w);
     } else {
       return fail("unknown tag '" + tag + "'");
     }
@@ -84,6 +96,7 @@ std::string SerializeQuery(const QueryGraph& query) {
   std::ostringstream os;
   os << "t " << query.NumVertices() << ' ' << query.NumEdges()
      << (query.directed() ? " directed" : " undirected") << '\n';
+  if (query.window_hint() > 0) os << "w " << query.window_hint() << '\n';
   for (size_t v = 0; v < query.NumVertices(); ++v) {
     os << "v " << v << ' ' << query.VertexLabel(static_cast<VertexId>(v))
        << '\n';

@@ -4,8 +4,10 @@
 //   v <id> <label>
 //   e <id> <u> <v> [elabel]
 //   o <a> <b>          # edge a precedes edge b (a ≺ b)
+//   w <delta>          # suggested replay window (optional, at most once)
 //
-// Vertices and edges must be declared with dense, in-order ids.
+// Vertices and edges must be declared with dense, in-order ids. The
+// normative specification lives in docs/FILE_FORMATS.md.
 #ifndef TCSM_QUERY_QUERY_IO_H_
 #define TCSM_QUERY_QUERY_IO_H_
 

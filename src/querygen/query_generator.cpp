@@ -176,6 +176,9 @@ bool GenerateQuery(const TemporalDataset& dataset,
     return false;
   }
   ApplyOrder(&query, edge_ts, options.density, rng);
+  // The walk was confined to a window-sized slice; carry that window as
+  // the query file's suggested replay delta (`w` record).
+  query.set_window_hint(options.window);
   *out = std::move(query);
   return true;
 }
@@ -194,6 +197,7 @@ bool GenerateQueryWithOrders(const TemporalDataset& dataset,
     QueryGraph q = topology;  // same topology, fresh order
     Rng order_rng = rng->Split();
     ApplyOrder(&q, edge_ts, density, &order_rng);
+    q.set_window_hint(options.window);
     out->push_back(std::move(q));
   }
   return true;

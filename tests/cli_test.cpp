@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/commands.h"
@@ -118,6 +119,134 @@ TEST(Cli, RunPrintsMatches) {
   EXPECT_NE(run.str().find("u0:"), std::string::npos);
   std::remove(edges.c_str());
   std::remove((edges + ".labels").c_str());
+  std::remove(query.c_str());
+}
+
+TEST(Cli, GenTelAndReplay) {
+  const std::string tel = TmpPath("cli_gen.tel");
+  const std::string query = TmpPath("cli_gen.tq");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGen({"random", tel, "--vertices=40", "--edges=500",
+                    "--vlabels=2", "--parallel=2", "--seed=9",
+                    "--window=200"},
+                   out),
+            0)
+      << out.str();
+  EXPECT_NE(out.str().find("wrote 500 edges"), std::string::npos);
+
+  // .tel files are sniffed by every dataset-consuming subcommand:
+  // stats, gen-query (which records the window in the query file)...
+  std::ostringstream stats;
+  ASSERT_EQ(CmdStats({tel}, stats), 0) << stats.str();
+  EXPECT_NE(stats.str().find("500"), std::string::npos);
+  std::ostringstream qout;
+  ASSERT_EQ(CmdGenQuery({tel, query, "--size=3", "--density=1",
+                         "--seed=4", "--window=200"},
+                        qout),
+            0)
+      << qout.str();
+
+  // ...and run, which takes its window from the query's w record here.
+  std::ostringstream run;
+  ASSERT_EQ(CmdRun({tel, query, "--print"}, run), 0) << run.str();
+
+  // replay must report the same matches in the same order as run.
+  std::ostringstream replay;
+  ASSERT_EQ(CmdReplay({tel, query, "--print"}, replay), 0) << replay.str();
+  const auto matches = [](const std::string& s) {
+    std::string lines;
+    std::istringstream in(s);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && (line[0] == '+' || line[0] == '-')) {
+        lines += line + "\n";
+      }
+    }
+    return lines;
+  };
+  EXPECT_EQ(matches(replay.str()), matches(run.str()));
+  EXPECT_NE(matches(run.str()), "");
+
+  // Several query files fan out across threads; summary is per query.
+  std::ostringstream multi;
+  ASSERT_EQ(CmdReplay({tel, query, query, "--threads=2"}, multi), 0)
+      << multi.str();
+  EXPECT_NE(multi.str().find("threads=2"), std::string::npos);
+  EXPECT_NE(multi.str().find("q1"), std::string::npos);
+
+  // --json emits one machine-readable line — and stays pure JSON even
+  // with flags that otherwise print advisory lines first.
+  std::ostringstream json;
+  ASSERT_EQ(CmdReplay({tel, query, "--json"}, json), 0) << json.str();
+  EXPECT_EQ(json.str().rfind("{\"stream\":", 0), 0u);
+  EXPECT_NE(json.str().find("\"completed\":true"), std::string::npos);
+  std::ostringstream json2;
+  ASSERT_EQ(CmdReplay({tel, query, "--json", "--canonical", "--threads=4"},
+                      json2),
+            0);
+  EXPECT_EQ(json2.str().rfind("{\"stream\":", 0), 0u) << json2.str();
+
+  // --max-events caps the arrivals but still expires what arrived.
+  std::ostringstream capped;
+  ASSERT_EQ(CmdReplay({tel, query, "--max-events=100"}, capped), 0);
+  EXPECT_NE(capped.str().find("events=200"), std::string::npos)
+      << capped.str();
+
+  // --canonical works without --print (as in run): group size reported.
+  std::ostringstream canon;
+  ASSERT_EQ(CmdReplay({tel, query, "--canonical"}, canon), 0);
+  EXPECT_NE(canon.str().find("automorphism group size"), std::string::npos);
+
+  // Query files recording different windows must not be silently run at
+  // the first file's window.
+  const std::string query2 = TmpPath("cli_gen2.tq");
+  ASSERT_EQ(CmdGenQuery({tel, query2, "--size=3", "--density=1",
+                         "--seed=4", "--window=150"},
+                        out),
+            0);
+  std::ostringstream conflict;
+  EXPECT_EQ(CmdReplay({tel, query, query2}, conflict), 1);
+  EXPECT_NE(conflict.str().find("disagree"), std::string::npos);
+  std::ostringstream forced;
+  EXPECT_EQ(CmdReplay({tel, query, query2, "--window=200"}, forced), 0);
+
+  std::remove(tel.c_str());
+  std::remove(query.c_str());
+  std::remove(query2.c_str());
+}
+
+TEST(Cli, GenToStdoutIsParseableTel) {
+  std::ostringstream out;
+  ASSERT_EQ(CmdGen({"random", "-", "--vertices=20", "--edges=50",
+                    "--seed=3", "--window=25"},
+                   out),
+            0);
+  EXPECT_EQ(out.str().rfind("tel 1 ", 0), 0u) << out.str().substr(0, 40);
+  EXPECT_NE(out.str().find("window=25"), std::string::npos);
+}
+
+TEST(Cli, ReplayErrors) {
+  std::ostringstream usage;
+  EXPECT_EQ(CmdReplay({"only-stream"}, usage), 2);
+  std::ostringstream missing;
+  EXPECT_EQ(CmdReplay({"/no/such.tel", "/no/such.tq"}, missing), 1);
+  EXPECT_NE(missing.str().find("error"), std::string::npos);
+
+  // A malformed stream surfaces its line-numbered diagnostic.
+  const std::string tel = TmpPath("cli_bad.tel");
+  {
+    std::ofstream f(tel);
+    f << "tel 1 undirected vertices=3 window=5\ne 0 1 nope\n";
+  }
+  const std::string query = TmpPath("cli_bad.tq");
+  {
+    std::ofstream f(query);
+    f << "t 2 1\nv 0 0\nv 1 0\ne 0 0 1\n";
+  }
+  std::ostringstream bad;
+  EXPECT_EQ(CmdReplay({tel, query}, bad), 1);
+  EXPECT_NE(bad.str().find(":2:"), std::string::npos) << bad.str();
+  std::remove(tel.c_str());
   std::remove(query.c_str());
 }
 

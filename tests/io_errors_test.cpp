@@ -1,0 +1,206 @@
+// Error-handling contract of the `.tel` / query parsers (DESIGN.md §8):
+// malformed input of any shape returns a Status carrying a line-numbered
+// diagnostic — never a crash, never a silently wrong dataset.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/tcm_engine.h"
+#include "io/replay.h"
+#include "io/stream_reader.h"
+#include "io/stream_writer.h"
+#include "query/query_io.h"
+#include "testlib/running_example.h"
+
+namespace tcsm {
+namespace {
+
+/// Parses `text` as a whole `.tel` stream and expects a CorruptInput
+/// status whose message carries "<source>:<line>:" and `what`.
+void ExpectTelError(const std::string& text, size_t line,
+                    const std::string& what) {
+  std::istringstream in(text);
+  auto result = ReadTelDataset(in, "test.tel");
+  ASSERT_FALSE(result.ok()) << "parsed: " << text;
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput) << text;
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("test.tel:" + std::to_string(line) + ":"),
+            std::string::npos)
+      << "no line " << line << " diagnostic in: " << msg;
+  EXPECT_NE(msg.find(what), std::string::npos)
+      << "'" << what << "' not in: " << msg;
+}
+
+TEST(TelErrors, HeaderProblems) {
+  ExpectTelError("", 0, "missing tel header");
+  ExpectTelError("# only comments\n\n", 2, "missing tel header");
+  ExpectTelError("telx 1 undirected\n", 1, "bad header");
+  ExpectTelError("tel\n", 1, "bad header");
+  ExpectTelError("tel 2 undirected\n", 1, "unsupported tel version");
+  ExpectTelError("tel 1 sideways\n", 1, "bad directedness");
+  ExpectTelError("tel 1 undirected vertices\n", 1, "key=value");
+  ExpectTelError("tel 1 undirected vertices=-3\n", 1, "bad vertices");
+  ExpectTelError("tel 1 undirected window=0\n", 1, "bad window");
+  ExpectTelError("tel 1 undirected window=abc\n", 1, "bad window");
+  ExpectTelError("tel 1 undirected window=9000000000000000000\n", 1,
+                 "bad window");
+  ExpectTelError("tel 1 undirected expiry=sometimes\n", 1,
+                 "bad expiry mode");
+  ExpectTelError("tel 1 undirected frobnicate=1\n", 1,
+                 "unknown header key");
+  // A hostile universe size is corrupt input, not an allocation attempt.
+  ExpectTelError("tel 1 directed vertices=9000000000000000000\n", 1,
+                 "bad vertices");
+  ExpectTelError("tel 1 undirected\nv 9000000000000000000 1\n", 2,
+                 "bad vertex label");
+}
+
+TEST(TelErrors, VertexRecordProblems) {
+  ExpectTelError("tel 1 undirected\nv 0\n", 2, "bad vertex label");
+  ExpectTelError("tel 1 undirected\nv -1 0\n", 2, "bad vertex label");
+  ExpectTelError("tel 1 undirected\nv 0 0 junk\n", 2, "bad vertex label");
+  ExpectTelError("tel 1 undirected vertices=2\nv 2 0\n", 2,
+                 "out of declared range");
+  ExpectTelError("tel 1 undirected\nv 0 1\nv 0 2\n", 3,
+                 "duplicate vertex label");
+  // v records must form a prefix of the stream.
+  ExpectTelError("tel 1 undirected vertices=3\ne 0 1 5\nv 2 1\n", 3,
+                 "after the first data record");
+}
+
+TEST(TelErrors, EdgeRecordProblems) {
+  const std::string h = "tel 1 undirected vertices=4\n";
+  ExpectTelError(h + "e 0 1\n", 2, "bad edge record");         // truncated
+  ExpectTelError(h + "e 0 x 5\n", 2, "bad edge record");       // garbage
+  ExpectTelError(h + "e 0 1 5 2 9\n", 2, "trailing garbage");
+  ExpectTelError(h + "e 0 1 5 foo\n", 2, "bad edge label");
+  ExpectTelError(h + "e 0 1 5 -2\n", 2, "bad edge label");
+  // int64 overflow consumes the digits; it must not read back as "no
+  // label" (or, for the mandatory fields, as a bad-record false match).
+  ExpectTelError(h + "e 0 1 5 99999999999999999999\n", 2,
+                 "bad edge label");
+  ExpectTelError(h + "e -1 2 5\n", 2, "negative vertex id");
+  ExpectTelError(h + "e 0 7 5\n", 2, "out of range");
+  ExpectTelError(h + "e 0 9999999999 5\n", 2, "out of range");
+  // |ts| is capped below 2^61 so ts + window can never overflow.
+  ExpectTelError(h + "e 0 1 9000000000000000000\n", 2,
+                 "timestamp out of range");
+  ExpectTelError(h + "e 0 1 5\ne 0 2 4\n", 3, "non-decreasing");
+  ExpectTelError(h + "q 0 1 5\n", 2, "unknown record tag");
+}
+
+TEST(TelErrors, ExpiryRecordProblems) {
+  ExpectTelError("tel 1 undirected vertices=2\ne 0 1 5\nx 6\n", 3,
+                 "derived-expiry stream");
+  const std::string h =
+      "tel 1 undirected vertices=3 window=4 expiry=explicit\n";
+  ExpectTelError(h + "x 1\n", 2, "no live edge");
+  ExpectTelError(h + "e 0 1 5\nx 9\nx 10\n", 4, "no live edge");
+  ExpectTelError(h + "e 0 1 5\nx 4\n", 3, "non-decreasing");
+  ExpectTelError(h + "e 0 1 5\nx\n", 3, "bad expiry record");
+  ExpectTelError(h + "e 0 1 5\nx 9 junk\n", 3, "bad expiry record");
+}
+
+TEST(TelErrors, SelfLoopsDroppedNotFatal) {
+  std::istringstream in(
+      "tel 1 undirected vertices=3\n"
+      "e 1 1 4\n"
+      "e 0 1 5\n");
+  auto result = ReadTelDataset(in, "test.tel");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+  EXPECT_EQ(result.value().edges[0].id, 0u);  // dropped loop takes no id
+}
+
+TEST(TelErrors, LoadFileNotFound) {
+  EXPECT_EQ(LoadTelFile("/no/such/stream.tel").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadAnyDatasetFile("/no/such/stream.tel", false).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(SniffTelFile("/no/such/stream.tel"));
+}
+
+TEST(TelErrors, ReplayRequiresResolvableWindow) {
+  // A derived-expiry stream with no header window and no option window is
+  // an InvalidArgument at replay time, not a crash.
+  std::istringstream in(
+      "tel 1 undirected vertices=7\n"
+      "e 0 1 1\n");
+  StreamReader reader(in, "test.tel");
+  ASSERT_TRUE(reader.Init().ok());
+  SingleQueryContext<TcmEngine> run(testlib::RunningExampleQuery(),
+                                    reader.schema());
+  auto result = ReplayStream(&reader, ReplayOptions{}, &run);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("window"), std::string::npos);
+}
+
+TEST(TelErrors, ReplaySurfacesMidStreamCorruption) {
+  // The replay driver stops at the corrupt line and reports it; events
+  // before the corruption were already delivered (streaming has no
+  // lookahead), which is exactly the "never abort" contract.
+  std::istringstream in(
+      "tel 1 undirected vertices=7 window=10\n"
+      "e 0 1 1\n"
+      "e 0 3 oops\n");
+  StreamReader reader(in, "test.tel");
+  ASSERT_TRUE(reader.Init().ok());
+  SingleQueryContext<TcmEngine> run(testlib::RunningExampleQuery(),
+                                    reader.schema());
+  auto result = ReplayStream(&reader, ReplayOptions{}, &run);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("test.tel:3:"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(TelErrors, WriterValidates) {
+  std::ostringstream out;
+  {
+    StreamWriter w(out);
+    EXPECT_FALSE(w.RecordArrival(TemporalEdge{}).ok());  // before Begin
+    TelWriteOptions opts;
+    opts.explicit_expiry = true;  // explicit mode needs a window
+    EXPECT_FALSE(w.BeginStream(false, {0, 0}, opts).ok());
+  }
+  {
+    StreamWriter w(out);
+    ASSERT_TRUE(w.BeginStream(false, {0, 0, 0}, {}).ok());
+    TemporalEdge e;
+    e.src = 0;
+    e.dst = 0;
+    e.ts = 1;
+    EXPECT_FALSE(w.RecordArrival(e).ok());  // self loop
+    e.dst = 9;
+    EXPECT_FALSE(w.RecordArrival(e).ok());  // outside universe
+    e.dst = 1;
+    ASSERT_TRUE(w.RecordArrival(e).ok());
+    e.ts = 0;
+    EXPECT_FALSE(w.RecordArrival(e).ok());  // time went backwards
+    EXPECT_FALSE(w.RecordExpiry(5).ok());   // derived-mode stream
+  }
+}
+
+TEST(QueryIoErrors, WindowRecord) {
+  const char* base =
+      "t 2 1\nv 0 0\nv 1 0\ne 0 0 1\n";
+  EXPECT_FALSE(ParseQueryString("w 5\n" + std::string(base)).ok());
+  EXPECT_FALSE(ParseQueryString(std::string(base) + "w 0\n").ok());
+  EXPECT_FALSE(ParseQueryString(std::string(base) + "w -4\n").ok());
+  EXPECT_FALSE(ParseQueryString(std::string(base) + "w x\n").ok());
+  EXPECT_FALSE(  // same 2^61 cap as .tel: ts + window must not overflow
+      ParseQueryString(std::string(base) + "w 9223372036854775806\n").ok());
+  EXPECT_FALSE(ParseQueryString(std::string(base) + "w 5\nw 6\n").ok());
+  auto ok = ParseQueryString(std::string(base) + "w 7\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().window_hint(), 7);
+  // The error message carries the line number of the bad record.
+  auto bad = ParseQueryString(std::string(base) + "w 0\n");
+  EXPECT_NE(bad.status().message().find("line 5"), std::string::npos)
+      << bad.status().message();
+}
+
+}  // namespace
+}  // namespace tcsm

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for this repository.
+
+Walks every tracked *.md file and verifies that
+
+  * relative links point at files/directories that exist, and
+  * fragment links (`#anchor`, alone or after a path) name a heading that
+    actually occurs in the target file, using GitHub's slug rules.
+
+External links (http/https/mailto) are skipped — CI must run offline.
+Inline code spans and fenced code blocks are ignored so command examples
+containing brackets never trip the checker.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link: file:line: message). Run from anywhere inside the repo.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def repo_root():
+    d = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(d)
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[!\"#$%&'()*+,./:;<=>?@\[\\\]^{|}~]", "", text.strip())
+    return text.lower().replace(" ", "-")
+
+
+_SLUG_CACHE = {}
+
+
+def heading_slugs(path):
+    if path in _SLUG_CACHE:
+        return _SLUG_CACHE[path]
+    slugs = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            if n:  # repeated headings get -1, -2, ... suffixes
+                slugs[f"{slug}-{n}"] = 1
+    _SLUG_CACHE[path] = set(slugs)
+    return _SLUG_CACHE[path]
+
+
+def check_file(path, errors):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(CODE_SPAN_RE.sub("``", line)):
+                if EXTERNAL_RE.match(target):
+                    continue  # http(s):, mailto: — offline checker
+                base, _, fragment = target.partition("#")
+                if base:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: broken link '{target}' "
+                            f"({resolved} does not exist)")
+                        continue
+                else:
+                    resolved = path
+                if fragment:
+                    if not resolved.endswith(".md"):
+                        continue  # anchors only checked in markdown
+                    if fragment.lower() not in heading_slugs(resolved):
+                        errors.append(
+                            f"{path}:{lineno}: broken anchor '#{fragment}' "
+                            f"(no such heading in {resolved})")
+
+
+def main():
+    root = repo_root()
+    os.chdir(root)
+    errors = []
+    count = 0
+    for path in sorted(markdown_files(".")):
+        count += 1
+        check_file(path, errors)
+    for e in errors:
+        print(e)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
