@@ -1,0 +1,50 @@
+// Tiny two-probe Bloom signatures used as candidate pre-filters on the
+// per-event hot path. A Bloom64 is a 64-bit membership summary of a small
+// key set: Add() sets two hash-derived bits per key, MayContain() tests
+// them. Like any Bloom filter it is one-sided — MayContain() can return
+// true for an absent key (a hash collision costs only a wasted scan) but
+// never false for a present key, so a "no" answer is always safe to act
+// on. With the handful of distinct (edge label, neighbor label)
+// signatures a vertex sees in practice, two probes into 64 bits keep the
+// false-positive rate negligible while the filter stays register-sized.
+#ifndef TCSM_COMMON_BLOOM_H_
+#define TCSM_COMMON_BLOOM_H_
+
+#include <cstdint>
+
+namespace tcsm {
+
+/// Finalizer of splitmix64 — a cheap, well-mixed 64-bit hash.
+inline constexpr uint64_t MixBits64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The two probe bits of `key` (independent 6-bit slices of one mix).
+inline constexpr uint64_t BloomBits(uint64_t key) {
+  const uint64_t h = MixBits64(key);
+  return (uint64_t{1} << (h & 63)) | (uint64_t{1} << ((h >> 6) & 63));
+}
+
+class Bloom64 {
+ public:
+  constexpr void Add(uint64_t key) { bits_ |= BloomBits(key); }
+  constexpr bool MayContain(uint64_t key) const {
+    const uint64_t probe = BloomBits(key);
+    return (bits_ & probe) == probe;
+  }
+  constexpr void Clear() { bits_ = 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr uint64_t bits() const { return bits_; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_COMMON_BLOOM_H_

@@ -26,6 +26,14 @@ inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
 inline constexpr Timestamp kMinusInfinity = std::numeric_limits<Timestamp>::min();
 inline constexpr Timestamp kPlusInfinity = std::numeric_limits<Timestamp>::max();
 
+/// Largest timestamp magnitude (and window) any stream path may carry: a
+/// quarter of the int64 range, so the derived expiry time ts + window can
+/// never overflow signed arithmetic however the events reach the driver
+/// (.tel parser, synthetic generator, or a programmatically built
+/// dataset). Epoch nanoseconds are ~2^60, comfortably inside.
+inline constexpr Timestamp kMaxStreamTimestamp =
+    std::numeric_limits<Timestamp>::max() / 4;
+
 /// Packs an ordered pair of vertex ids into one 64-bit hash-map key.
 inline constexpr uint64_t PackPair(VertexId a, VertexId b) {
   return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);

@@ -18,21 +18,38 @@ void SharedStreamContext::Attach(ContinuousEngine* engine) {
   engines_.push_back(engine);
 }
 
-void SharedStreamContext::OnEdgeArrival(const TemporalEdge& ed) {
+const TemporalEdge& SharedStreamContext::ApplyArrival(const TemporalEdge& ed) {
   const EdgeId id = g_.InsertEdge(ed.src, ed.dst, ed.ts, ed.label);
   TCSM_CHECK(id == ed.id && "edge ids must be dense arrival indices");
-  const TemporalEdge& applied = g_.Edge(id);
-  NotifyInserted(applied);
+  return g_.Edge(id);
 }
 
-void SharedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
+TemporalEdge SharedStreamContext::CaptureExpiry(const TemporalEdge& ed) const {
   TCSM_CHECK(ed.id < g_.NumEdgesEver() && g_.Alive(ed.id));
   // Copy: the canonical record outlives the removal, but engines receive a
   // stable value either way.
-  const TemporalEdge applied = g_.Edge(ed.id);
+  return g_.Edge(ed.id);
+}
+
+void SharedStreamContext::OnEdgeArrival(const TemporalEdge& ed) {
+  NotifyInserted(ApplyArrival(ed));
+}
+
+void SharedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
+  const TemporalEdge applied = CaptureExpiry(ed);
   NotifyExpiring(applied);
   g_.RemoveEdge(applied.id);
   NotifyRemoved(applied);
+}
+
+void SharedStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
+                                             size_t count) {
+  for (size_t i = 0; i < count; ++i) OnEdgeArrival(edges[i]);
+}
+
+void SharedStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
+                                            size_t count) {
+  for (size_t i = 0; i < count; ++i) OnEdgeExpiry(edges[i]);
 }
 
 void SharedStreamContext::NotifyInserted(const TemporalEdge& ed) {

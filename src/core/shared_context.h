@@ -50,6 +50,18 @@ class SharedStreamContext {
   /// then the edge is removed once and engines update their indexes.
   void OnEdgeExpiry(const TemporalEdge& ed);
 
+  /// Micro-batch entry points (DESIGN.md §9): `count` consecutive events
+  /// of one kind sharing a timestamp, delivered together so a driver can
+  /// amortize its per-event bookkeeping and an override can amortize the
+  /// fan-out machinery. The event protocol is NOT relaxed: each edge is
+  /// applied to the graph and fanned out to every engine before the next
+  /// edge of the batch mutates anything, so the match stream is
+  /// byte-identical to `count` single-event calls by construction. The
+  /// base implementations simply loop; ParallelStreamContext overrides
+  /// them to run the whole batch as one pipelined pool job.
+  virtual void OnEdgeArrivalBatch(const TemporalEdge* edges, size_t count);
+  virtual void OnEdgeExpiryBatch(const TemporalEdge* edges, size_t count);
+
   /// Honest multi-query footprint: the shared graph accounted once plus
   /// every attached engine's per-query state.
   size_t EstimateMemoryBytes() const;
@@ -79,6 +91,17 @@ class SharedStreamContext {
   virtual void NotifyInserted(const TemporalEdge& ed);
   virtual void NotifyExpiring(const TemporalEdge& ed);
   virtual void NotifyRemoved(const TemporalEdge& ed);
+
+  /// Graph-mutation halves of the single-event entry points, exposed so
+  /// batch overrides can interleave mutations with their own fan-out
+  /// while the mutations themselves stay on the driver thread.
+  /// ApplyArrival inserts and returns the canonical record (valid until
+  /// the next mutation); CaptureExpiry validates and copies the canonical
+  /// record of a live edge; ApplyRemoval removes it (the record stays
+  /// readable through the following NotifyRemoved, see TemporalGraph).
+  const TemporalEdge& ApplyArrival(const TemporalEdge& ed);
+  TemporalEdge CaptureExpiry(const TemporalEdge& ed) const;
+  void ApplyRemoval(EdgeId id) { g_.RemoveEdge(id); }
 
  private:
   TemporalGraph g_;

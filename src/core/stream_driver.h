@@ -10,10 +10,16 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "core/shared_context.h"
 #include "graph/temporal_dataset.h"
 
 namespace tcsm {
+
+/// Micro-batch cap used when a driver's max_batch knob is 0. Large enough
+/// to amortize the per-event fan-out cost, small enough that drivers
+/// still check deadlines and overflow flags frequently.
+inline constexpr size_t kDefaultMaxBatch = 64;
 
 struct StreamConfig {
   /// Time window delta; edges with ts <= now - delta are expired.
@@ -22,15 +28,27 @@ struct StreamConfig {
   /// reported as not completed ("unsolved" in the paper's terms).
   double time_limit_ms = 0;
   /// Context memory is sampled every this many events; 0 = adaptive
-  /// (about 32 samples per run, so sampling never dominates).
+  /// (at least ~32 samples across the run, so sampling never dominates).
   size_t memory_sample_every = 0;
   /// Stop the replay after this many arrivals (0 = all). Expirations of
   /// already-arrived edges are still delivered.
   size_t max_arrivals = 0;
+  /// Largest micro-batch handed to the context in one
+  /// OnEdgeArrivalBatch/OnEdgeExpiryBatch call (consecutive events of one
+  /// kind sharing a timestamp; DESIGN.md §9). 0 = default (64); 1 =
+  /// unbatched, exactly the historical one-call-per-event behavior. The
+  /// match stream is identical for every setting; the cap only bounds how
+  /// long the driver goes between deadline/overflow checks.
+  size_t max_batch = 0;
 };
 
 struct StreamResult {
   bool completed = true;
+  /// Why the run refused to start (completed == false, zero events):
+  /// currently only timestamp/window magnitudes that could overflow the
+  /// expiry arithmetic (ts + window); see kMaxStreamTimestamp. Runs that
+  /// merely hit the time limit or overflow an engine keep an OK status.
+  Status error = Status::Ok();
   double elapsed_ms = 0;
   /// Summed over all engines attached to the context.
   uint64_t occurred = 0;

@@ -40,10 +40,12 @@ TcmEngine::TcmEngine(const QueryGraph& query, const TemporalGraph& graph,
   TCSM_CHECK(query_.directed() == g_.directed());
   if (config_.use_tc_filter) {
     filter_q_ = std::make_unique<MaxMinIndex>(&g_, &dag_q_,
-                                              config_.partitioned_adjacency);
+                                              config_.partitioned_adjacency,
+                                              config_.use_bloom_prefilter);
     if (config_.use_reverse_filter) {
       filter_r_ = std::make_unique<MaxMinIndex>(&g_, &dag_r_,
-                                                config_.partitioned_adjacency);
+                                                config_.partitioned_adjacency,
+                                                config_.use_bloom_prefilter);
     }
   }
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
@@ -156,8 +158,18 @@ void TcmEngine::UpdateStructures(const TemporalEdge& ed, bool inserting) {
           if (add_triple(qe, de, flip)) ++counters_.adj_entries_matched;
         };
         if (config_.partitioned_adjacency) {
-          for (const AdjEntry& a : g_.NeighborsMatching(
-                   uv.v, q.elabel, query_.VertexLabel(other_qv))) {
+          const Label nbr_label = query_.VertexLabel(other_qv);
+          // Pre-filter: only flip == false survives StaticFeasible on
+          // directed graphs, which pins the data edge's direction at v
+          // (v images the child endpoint uv.u). A bucket holding no
+          // entry of that direction cannot contribute a triple.
+          if (config_.use_bloom_prefilter &&
+              !g_.MayHaveMatching(uv.v, q.elabel, nbr_label,
+                                  /*want_out=*/uv.u == q.u)) {
+            continue;
+          }
+          for (const AdjEntry& a :
+               g_.NeighborsMatching(uv.v, q.elabel, nbr_label)) {
             visit(a);
           }
         } else {

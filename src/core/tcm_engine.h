@@ -64,6 +64,14 @@ struct TcmConfig {
   /// filter inline, the pre-partitioning storage behavior; kept as an
   /// ablation for bench_storage_scaling.
   bool partitioned_adjacency = true;
+  /// Consult the graph's per-vertex Bloom signature masks
+  /// (TemporalGraph::MayHaveMatching) before every partitioned bucket scan
+  /// of the filter recomputation and the DCS rescan, skipping scans that
+  /// provably yield no matching entry (direction-aware on directed
+  /// graphs). Never changes results — the filter has no false negatives —
+  /// only the adj_entries_scanned work. Kept as an ablation knob; no-op
+  /// without partitioned_adjacency.
+  bool use_bloom_prefilter = true;
 };
 
 class TcmEngine : public ContinuousEngine {

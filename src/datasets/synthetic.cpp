@@ -66,6 +66,13 @@ TemporalDataset GenerateSynthetic(const SyntheticSpec& spec) {
   }
 
   ds.RankTimestamps();  // sort by time, timestamps become 1..|E|
+  if (spec.ts_coalesce > 1) {
+    // Collapse runs of ts_coalesce consecutive ranks onto one timestamp
+    // (still ascending, still starting at 1): same-second burst feeds.
+    for (size_t i = 0; i < ds.edges.size(); ++i) {
+      ds.edges[i].ts = static_cast<Timestamp>(i / spec.ts_coalesce) + 1;
+    }
+  }
   return ds;
 }
 

@@ -32,6 +32,12 @@ struct SyntheticSpec {
   /// Fraction of each parallel bundle emitted as a burst around a common
   /// base time (parallel edges in traffic/transactions are bursty).
   double burstiness = 0.7;
+  /// Runs of this many consecutive arrivals share one timestamp (1 = all
+  /// timestamps unique, the historical behavior). Real feeds deliver
+  /// same-second bursts; this knob reproduces them so micro-batching
+  /// (DESIGN.md §9) has something to coalesce. Timestamps stay ascending
+  /// and start at 1.
+  size_t ts_coalesce = 1;
   bool directed = false;
   uint64_t seed = 42;
 };

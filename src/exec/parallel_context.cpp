@@ -48,6 +48,79 @@ void ParallelStreamContext::DrainSinks() {
   }
 }
 
+void ParallelStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
+                                               size_t count) {
+  const std::vector<ContinuousEngine*>& attached = engines();
+  if (!pool_.pooled() || count <= 1 || attached.empty()) {
+    SharedStreamContext::OnEdgeArrivalBatch(edges, count);
+    return;
+  }
+  SyncSinks();
+  batch_scratch_.clear();
+  batch_scratch_.reserve(count);
+  batch_scratch_.push_back(ApplyArrival(edges[0]));
+  try {
+    // Step k fans edge k out to the engines; the inter-step settle drains
+    // the buffers (attach order) and applies the NEXT arrival, so its
+    // insertion is published to the step-(k+1) bodies by the step fence.
+    pool_.PipelineFor(
+        count, attached.size(),
+        [&](size_t k, size_t i) {
+          attached[i]->OnEdgeInserted(batch_scratch_[k]);
+        },
+        [&](size_t k) {
+          DrainSinks();
+          if (k + 1 < count) batch_scratch_.push_back(ApplyArrival(edges[k + 1]));
+        });
+  } catch (...) {
+    for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
+      buffer->Discard();
+    }
+    throw;
+  }
+}
+
+void ParallelStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
+                                              size_t count) {
+  const std::vector<ContinuousEngine*>& attached = engines();
+  if (!pool_.pooled() || count <= 1 || attached.empty()) {
+    SharedStreamContext::OnEdgeExpiryBatch(edges, count);
+    return;
+  }
+  SyncSinks();
+  batch_scratch_.clear();
+  batch_scratch_.reserve(count);
+  batch_scratch_.push_back(CaptureExpiry(edges[0]));
+  try {
+    // Two pipeline steps per edge: even steps run the expiring phase
+    // against the pre-deletion graph, whose settle drains and THEN
+    // removes the edge; odd steps run the removed phase, whose settle
+    // drains and captures the next expiring edge.
+    pool_.PipelineFor(
+        2 * count, attached.size(),
+        [&](size_t k, size_t i) {
+          if (k % 2 == 0) {
+            attached[i]->OnEdgeExpiring(batch_scratch_[k / 2]);
+          } else {
+            attached[i]->OnEdgeRemoved(batch_scratch_[k / 2]);
+          }
+        },
+        [&](size_t k) {
+          DrainSinks();
+          if (k % 2 == 0) {
+            ApplyRemoval(batch_scratch_[k / 2].id);
+          } else if (k / 2 + 1 < count) {
+            batch_scratch_.push_back(CaptureExpiry(edges[k / 2 + 1]));
+          }
+        });
+  } catch (...) {
+    for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
+      buffer->Discard();
+    }
+    throw;
+  }
+}
+
 void ParallelStreamContext::NotifyInserted(const TemporalEdge& ed) {
   if (!pool_.pooled()) {
     SharedStreamContext::NotifyInserted(ed);

@@ -40,6 +40,18 @@ class ParallelStreamContext : public SharedStreamContext {
   /// thread; 1 means the serial bypass.
   size_t num_threads() const override { return pool_.num_threads(); }
 
+  /// Micro-batch overrides (DESIGN.md §9): a batch of same-timestamp
+  /// events runs as ONE pipelined pool job (ThreadPool::PipelineFor)
+  /// instead of one-to-three condition-variable barriers per event. The
+  /// event protocol is unchanged — each edge is applied on the driver
+  /// thread, fanned out, and its buffers drained in attach order before
+  /// the next edge of the batch mutates the graph — so the match stream
+  /// stays byte-identical to serial execution. The one sanctioned
+  /// deviation: sinks are re-synced once per batch rather than once per
+  /// event (the batch boundary is the sink re-sync point).
+  void OnEdgeArrivalBatch(const TemporalEdge* edges, size_t count) override;
+  void OnEdgeExpiryBatch(const TemporalEdge* edges, size_t count) override;
+
  protected:
   void NotifyInserted(const TemporalEdge& ed) override;
   void NotifyExpiring(const TemporalEdge& ed) override;
@@ -59,6 +71,10 @@ class ParallelStreamContext : public SharedStreamContext {
 
   ThreadPool pool_;
   std::vector<std::unique_ptr<BufferedMatchSink>> buffers_;
+  /// Canonical edge records of the in-flight batch. Reserved up front so
+  /// the driver's settle-phase push_back never reallocates under the
+  /// workers' concurrent reads of earlier elements.
+  std::vector<TemporalEdge> batch_scratch_;
 };
 
 }  // namespace tcsm

@@ -1,6 +1,26 @@
 #include "exec/thread_pool.h"
 
+#include <chrono>
+
 namespace tcsm {
+
+namespace {
+
+/// Step-fence wait: brief spin, then yield, then sleep. The pipeline
+/// fences are expected to resolve in microseconds, but on an
+/// oversubscribed machine (more participants than cores) a pure spin
+/// would starve the very thread being waited on.
+inline void PipelineBackoff(uint32_t* spins) {
+  const uint32_t s = ++*spins;
+  if (s < 64) return;
+  if (s < 4096) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads <= 1) return;
@@ -48,20 +68,53 @@ void ThreadPool::RunShard(const std::function<void(size_t)>& body, size_t n) {
   }
 }
 
+void ThreadPool::RunPipelineShard(
+    const std::function<void(size_t, size_t)>& body, size_t steps, size_t n) {
+  for (size_t k = 0; k < steps; ++k) {
+    uint32_t spins = 0;
+    while (pipe_open_.load(std::memory_order_acquire) <= k) {
+      PipelineBackoff(&spins);
+    }
+    for (;;) {
+      const size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= (k + 1) * n) break;
+      if (pipe_abort_.load(std::memory_order_relaxed)) continue;
+      try {
+        body(k, idx - k * n);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        pipe_abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+    pipe_arrived_.fetch_add(1, std::memory_order_release);
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(size_t)>* body = nullptr;
+    const std::function<void(size_t, size_t)>* pipe_body = nullptr;
     size_t n = 0;
+    size_t steps = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
       body = body_;
+      pipe_body = pipe_body_;
       n = job_n_;
+      steps = pipe_steps_;
     }
-    RunShard(*body, n);
+    if (pipe_body != nullptr) {
+      RunPipelineShard(*pipe_body, steps, n);
+    } else {
+      RunShard(*body, n);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_workers_;
@@ -83,6 +136,7 @@ void ThreadPool::ParallelFor(size_t n,
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
+    pipe_body_ = nullptr;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
@@ -94,6 +148,86 @@ void ThreadPool::ParallelFor(size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::PipelineFor(size_t steps, size_t n,
+                             const std::function<void(size_t, size_t)>& body,
+                             const std::function<void(size_t)>& settle) {
+  if (steps == 0) return;
+  if (workers_.empty() || n <= 1) {
+    // Inline bypass: no workers, or nothing to fan out per step.
+    for (size_t k = 0; k < steps; ++k) {
+      for (size_t i = 0; i < n; ++i) body(k, i);
+      settle(k);
+    }
+    return;
+  }
+  const size_t participants = workers_.size() + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = nullptr;
+    pipe_body_ = &body;
+    pipe_steps_ = steps;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    pipe_arrived_.store(0, std::memory_order_relaxed);
+    pipe_abort_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+    pipe_open_.store(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (size_t k = 0; k < steps; ++k) {
+    // Claim step-k indices alongside the workers.
+    for (;;) {
+      const size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= (k + 1) * n) break;
+      if (pipe_abort_.load(std::memory_order_relaxed)) continue;
+      try {
+        body(k, idx - k * n);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        pipe_abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+    pipe_arrived_.fetch_add(1, std::memory_order_release);
+    // Step fence: every participant has drained its step-k claims (their
+    // release arrivals make the body effects visible here).
+    uint32_t spins = 0;
+    while (pipe_arrived_.load(std::memory_order_acquire) <
+           participants * (k + 1)) {
+      PipelineBackoff(&spins);
+    }
+    if (!pipe_abort_.load(std::memory_order_relaxed)) {
+      try {
+        settle(k);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        pipe_abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (k + 1 < steps) {
+      // Reset the claim counter to the next slice (safe: no participant
+      // touches next_ between its step-k arrival and step k+1 opening),
+      // then open step k+1; the release publishes settle(k)'s effects.
+      next_.store((k + 1) * n, std::memory_order_relaxed);
+      pipe_open_.store(k + 2, std::memory_order_release);
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  pipe_body_ = nullptr;
+  pipe_open_.store(0, std::memory_order_relaxed);
   if (first_error_) {
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;

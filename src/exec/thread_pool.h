@@ -49,11 +49,35 @@ class ThreadPool {
   /// call ParallelFor on the same pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  /// Runs a `steps`-deep pipeline as ONE pool job: for every step k in
+  /// order, body(k, 0) ... body(k, n-1) are claimed dynamically by the
+  /// workers and the caller; once every participant finished its step-k
+  /// claims, the caller alone runs settle(k), and only then does step k+1
+  /// open. Equivalent to `steps` ParallelFor calls with settle(k) between
+  /// them, but with a single pool wake-up and lightweight (spin/yield)
+  /// step fences instead of a condition-variable barrier per step — the
+  /// per-event fan-out cost that micro-batching amortizes (DESIGN.md §9).
+  ///
+  /// Ordering guarantees: all body(k, ·) effects are visible to settle(k),
+  /// and all settle(k) effects are visible to every body(k+1, ·). If a
+  /// body or settle throws, the remaining bodies and settles are skipped
+  /// (steps still drain) and the first exception is rethrown after the
+  /// job completes. Without workers — or with n <= 1, where there is
+  /// nothing to fan out — the pipeline runs inline on the caller with
+  /// direct exception propagation. Not reentrant.
+  void PipelineFor(size_t steps, size_t n,
+                   const std::function<void(size_t, size_t)>& body,
+                   const std::function<void(size_t)>& settle);
+
  private:
   void WorkerLoop();
   /// Claims and runs indices until the job is exhausted; captures the
   /// first exception and cancels the remaining indices.
   void RunShard(const std::function<void(size_t)>& body, size_t n);
+  /// Worker half of PipelineFor: per step, wait for the step to open,
+  /// claim indices from the step's slice of next_, then arrive.
+  void RunPipelineShard(const std::function<void(size_t, size_t)>& body,
+                        size_t steps, size_t n);
 
   std::vector<std::thread> workers_;
 
@@ -69,7 +93,24 @@ class ThreadPool {
   std::exception_ptr first_error_;
   bool stop_ = false;
 
-  /// Next unclaimed loop index of the current job.
+  // Pipelined job state (PipelineFor). pipe_body_ doubles as the job-kind
+  // dispatch in WorkerLoop; at most one of body_/pipe_body_ is non-null.
+  const std::function<void(size_t, size_t)>* pipe_body_ = nullptr;
+  size_t pipe_steps_ = 0;
+  /// Step k's bodies may run once pipe_open_ > k (release-published by
+  /// the caller after settle(k-1), so settle effects are visible).
+  std::atomic<size_t> pipe_open_{0};
+  /// Total step arrivals; step k is fully drained once this reaches
+  /// participants * (k + 1) (release-published by each participant after
+  /// its last step-k body, so body effects are visible to settle).
+  std::atomic<size_t> pipe_arrived_{0};
+  /// Set on the first exception: remaining bodies/settles are skipped
+  /// while the steps still drain, so every participant exits cleanly.
+  std::atomic<bool> pipe_abort_{false};
+
+  /// Next unclaimed loop index of the current job. PipelineFor slices it
+  /// per step: step k claims from [k*n, (k+1)*n), and the caller resets
+  /// the counter to the next slice's base once the step has drained.
   std::atomic<size_t> next_{0};
 };
 

@@ -19,11 +19,12 @@ bool StaticFeasible(const QueryGraph& query, const TemporalGraph& graph,
 }
 
 MaxMinIndex::MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag,
-                         bool partitioned_adjacency)
+                         bool partitioned_adjacency, bool bloom_prefilter)
     : graph_(graph),
       dag_(dag),
       query_(&dag->query()),
-      partitioned_(partitioned_adjacency) {
+      partitioned_(partitioned_adjacency),
+      prefilter_(bloom_prefilter) {
   entries_.resize(query_->NumVertices());
   dirty_.resize(query_->NumVertices());
 }
@@ -67,7 +68,7 @@ MaxMinIndex::Entry MaxMinIndex::ComputeEntry(VertexId u, VertexId v) {
     std::fill(branch_earlier.begin(), branch_earlier.end(), kPlusInfinity);
     bool branch_weak = false;
 
-    ScanNeighbors(v, qf.elabel, want_vlabel, [&](const AdjEntry& a) {
+    ScanNeighbors(v, qf.elabel, want_vlabel, need_out, [&](const AdjEntry& a) {
       if (a.elabel != qf.elabel) return;
       if (graph_->VertexLabel(a.nbr) != want_vlabel) return;
       if (graph_->directed() && a.out != need_out) return;
@@ -158,7 +159,9 @@ void MaxMinIndex::ProcessDirty(std::vector<UvPair>* touched) {
         const QueryEdge& qpe = query_->Edge(pe);
         const Label want = query_->VertexLabel(up);
         const bool nbr_out = qpe.u == up;  // data edge leaves the parent
-        ScanNeighbors(v, qpe.elabel, want, [&](const AdjEntry& a) {
+        // From v's side the wanted entries point *toward* the parent, so
+        // the direction constraint is the inverse of nbr_out.
+        ScanNeighbors(v, qpe.elabel, want, !nbr_out, [&](const AdjEntry& a) {
           if (a.elabel != qpe.elabel) return;
           if (graph_->VertexLabel(a.nbr) != want) return;
           // From v's perspective the edge direction is inverted.

@@ -56,9 +56,13 @@ class MaxMinIndex {
   /// With `partitioned_adjacency` (the default) entry recomputation scans
   /// only the (edge label, neighbor label) bucket each DAG edge can match;
   /// without it every incident entry is visited and filtered inline — the
-  /// pre-partitioning behavior, kept as a measurable ablation.
+  /// pre-partitioning behavior, kept as a measurable ablation. With
+  /// `bloom_prefilter` (the default, partitioned mode only) each bucket
+  /// scan first consults the graph's per-vertex direction-aware Bloom
+  /// signature and is skipped outright when no entry can match — the
+  /// scan counters then record zero visits for it.
   MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag,
-              bool partitioned_adjacency = true);
+              bool partitioned_adjacency = true, bool bloom_prefilter = true);
 
   /// Incremental update after `ed` was inserted into the graph
   /// (TCMInsertion). Appends to `touched` the entries whose gate values
@@ -121,10 +125,20 @@ class MaxMinIndex {
 
   /// Invokes `fn(entry)` for the entries of v's (elabel, nbr_label)
   /// bucket (partitioned mode) or for every incident entry (flat mode),
-  /// maintaining the scan counter either way.
+  /// maintaining the scan counter either way. `want_out` is the required
+  /// entry direction from v's perspective (ignored on undirected graphs):
+  /// the caller still re-checks it per entry, but the Bloom pre-filter
+  /// uses it to skip buckets holding only wrong-direction entries. The
+  /// skip is sound because a scan whose every entry fails the direction
+  /// check has no effect besides incrementing the scan counter.
   template <typename Fn>
-  void ScanNeighbors(VertexId v, Label elabel, Label nbr_label, Fn&& fn) {
+  void ScanNeighbors(VertexId v, Label elabel, Label nbr_label,
+                     bool want_out, Fn&& fn) {
     if (partitioned_) {
+      if (prefilter_ &&
+          !graph_->MayHaveMatching(v, elabel, nbr_label, want_out)) {
+        return;
+      }
       for (const AdjEntry& a : graph_->NeighborsMatching(v, elabel,
                                                          nbr_label)) {
         ++scanned_;
@@ -142,6 +156,7 @@ class MaxMinIndex {
   const QueryDag* dag_;
   const QueryGraph* query_;
   const bool partitioned_;
+  const bool prefilter_;
   uint64_t scanned_ = 0;
   uint64_t matched_ = 0;
 

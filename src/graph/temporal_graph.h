@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bloom.h"
 #include "common/logging.h"
 #include "common/types.h"
 #include "graph/temporal_edge.h"
@@ -155,6 +156,21 @@ class TemporalGraph {
     size_t size_;
   };
 
+  /// Candidate pre-filter: false means v has *no* live incident edge with
+  /// this (edge label, neighbor label) signature in the wanted direction —
+  /// callers may skip the bucket scan entirely. True is advisory (a Bloom
+  /// bit collision or a bucket mixing directions can report true for an
+  /// empty scan), so a scan gated on it visits at most what an ungated
+  /// scan would. `want_out` is the direction from v's perspective and is
+  /// ignored for undirected graphs. O(1): two mask probes.
+  bool MayHaveMatching(VertexId v, Label elabel, Label nbr_label,
+                       bool want_out) const {
+    const VertexAdj& va = adj_[v];
+    const Bloom64& sig =
+        !directed_ ? va.sig_any : (want_out ? va.sig_out : va.sig_in);
+    return sig.MayContain(PackPair(elabel, nbr_label));
+  }
+
   /// Live incident edges of `v` whose edge label is `elabel` and whose
   /// other endpoint carries `nbr_label`, in chronological order. Both
   /// directions for directed graphs — check AdjEntry::out. Work here is
@@ -213,6 +229,9 @@ class TemporalGraph {
     uint32_t head = kNilNode;
     uint32_t tail = kNilNode;
     uint32_t size = 0;
+    /// Entries whose edge leaves this vertex (in-count = size - out_size);
+    /// drives the direction-aware signature masks on directed graphs.
+    uint32_t out_size = 0;
   };
 
   struct VertexAdj {
@@ -220,6 +239,13 @@ class TemporalGraph {
     /// (bounded by the signatures seen at this vertex).
     std::unordered_map<uint64_t, Bucket> buckets;
     size_t degree = 0;
+    /// Bloom signatures over the PackPair keys of the *non-empty* buckets
+    /// (split by entry direction on directed graphs). Kept exact — bits
+    /// are re-derived from the buckets whenever a count drops to zero —
+    /// so MayHaveMatching is false-negative-free by construction.
+    Bloom64 sig_any;
+    Bloom64 sig_out;
+    Bloom64 sig_in;
   };
 
   /// Pooled storage of one live edge. `node_src`/`node_dst` are the
@@ -246,6 +272,9 @@ class TemporalGraph {
   uint32_t LinkNode(VertexId v, const AdjEntry& entry);
   /// Unlinks `node` from v's matching bucket and frees it.
   void UnlinkNode(VertexId v, uint32_t node);
+  /// Recomputes v's signature masks from its non-empty buckets (called
+  /// when an unlink empties a bucket or a direction within one).
+  void RebuildSigMasks(VertexId v);
   /// Returns pending tombstone slots to the free-list and advances the id
   /// ring past fully reclaimed ids.
   void DrainPendingFrees();

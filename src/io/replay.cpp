@@ -32,6 +32,8 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
   context->set_deadline(options.time_limit_ms > 0 ? &deadline : nullptr);
   const size_t sample_every =
       options.memory_sample_every > 0 ? options.memory_sample_every : 64;
+  const size_t max_batch =
+      options.max_batch == 0 ? kDefaultMaxBatch : options.max_batch;
 
   PeakMeter peak;
   StopWatch watch;
@@ -59,6 +61,11 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
     return Status::Ok();
   };
 
+  // Scratch for coalesced deliveries (DESIGN.md §9): consecutive
+  // same-timestamp events of one kind handed to the context as a batch.
+  std::vector<TemporalEdge> batch;
+  bool high_water_sampled = false;
+
   Status s = pull();
   while (s.ok()) {
     if (deadline.ExpiredNow() || context->overflowed()) {
@@ -71,6 +78,13 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
       has_pending = false;
       stopped = true;
       truncated = true;
+    }
+    if (stopped && !high_water_sampled) {
+      // No more arrivals: the window is at its fullest right now, before
+      // the remaining expirations shrink it. Sample the high-water point
+      // explicitly rather than hoping the cadence lands on it.
+      peak.Observe(context->EstimateMemoryBytes());
+      high_water_sampled = true;
     }
     const bool have_arrival =
         has_pending && pending.kind == StreamRecord::Kind::kArrival;
@@ -88,22 +102,55 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
     }
     if (do_expire) {
       TCSM_CHECK(!live.empty());
-      context->OnEdgeExpiry(live.front());
+      batch.clear();
+      batch.push_back(live.front());
       live.pop_front();
       if (has_pending && pending.kind == StreamRecord::Kind::kExpiry) {
+        // One explicit record = one expiry; never coalesced.
         has_pending = false;
+      } else if (!explicit_mode) {
+        // Derived mode: same arrival timestamp means same expiry time, so
+        // the front run of equal-ts live edges expires together.
+        const Timestamp t = batch.front().ts;
+        while (batch.size() < max_batch && !live.empty() &&
+               live.front().ts == t) {
+          batch.push_back(live.front());
+          live.pop_front();
+        }
       }
+      context->OnEdgeExpiryBatch(batch.data(), batch.size());
     } else if (have_arrival) {
+      batch.clear();
       pending.edge.id = next_id++;
-      context->OnEdgeArrival(pending.edge);
-      live.push_back(pending.edge);
-      ++arrivals;
+      batch.push_back(pending.edge);
       has_pending = false;
+      ++arrivals;
+      // Pull ahead to coalesce consecutive same-timestamp arrivals. Stops
+      // at the arrival cap, a kind or timestamp change, or a read error —
+      // in which case the batch accumulated so far is delivered before
+      // the error surfaces.
+      while (batch.size() < max_batch &&
+             (options.max_arrivals == 0 || arrivals < options.max_arrivals)) {
+        s = pull();
+        if (!s.ok() || !has_pending ||
+            pending.kind != StreamRecord::Kind::kArrival ||
+            pending.edge.ts != batch.front().ts) {
+          break;
+        }
+        pending.edge.id = next_id++;
+        batch.push_back(pending.edge);
+        has_pending = false;
+        ++arrivals;
+      }
+      context->OnEdgeArrivalBatch(batch.data(), batch.size());
+      live.insert(live.end(), batch.begin(), batch.end());
+      if (!s.ok()) break;
     } else {
       break;  // stream exhausted and nothing left to expire
     }
-    ++result.events;
-    if (result.events % sample_every == 0) {
+    const size_t before = result.events;
+    result.events += batch.size();
+    if (result.events / sample_every != before / sample_every) {
       peak.Observe(context->EstimateMemoryBytes());
     }
     s = pull();

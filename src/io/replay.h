@@ -32,6 +32,13 @@ struct ReplayOptions {
   /// events (a stream's length is unknown up front, so unlike RunStream
   /// the cadence cannot adapt to it).
   size_t memory_sample_every = 0;
+  /// Largest micro-batch handed to the context in one batch call (see
+  /// StreamConfig::max_batch): consecutive same-timestamp arrivals, or
+  /// same-timestamp derived expirations. 0 = default (kDefaultMaxBatch);
+  /// 1 = unbatched. Explicit-expiry records are never coalesced — the
+  /// file carries its own schedule. The match stream is identical for
+  /// every setting.
+  size_t max_batch = 0;
 };
 
 /// Replays `reader` (already Init()ed by the caller, who needed its

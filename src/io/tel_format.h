@@ -32,12 +32,10 @@ inline constexpr const char* kTelMagic = "tel";
 /// be silently misread by a future grammar.
 inline constexpr int kTelVersion = 1;
 
-/// Largest timestamp magnitude (and window) a `.tel` file may carry:
-/// a quarter of the int64 range, so the derived expiry time ts + window
-/// can never overflow however hostile the file. Epoch nanoseconds are
-/// ~2^60, comfortably inside.
-inline constexpr Timestamp kMaxTelTimestamp =
-    std::numeric_limits<Timestamp>::max() / 4;
+/// Largest timestamp magnitude (and window) a `.tel` file may carry —
+/// the library-wide overflow cap (common/types.h), so the derived expiry
+/// time ts + window can never overflow however hostile the file.
+inline constexpr Timestamp kMaxTelTimestamp = kMaxStreamTimestamp;
 
 /// Parsed `.tel` header line.
 struct TelHeader {

@@ -120,6 +120,156 @@ TEST(StreamDriver, PeakMemorySampled) {
   EXPECT_GT(res.peak_memory_bytes, 0u);
 }
 
+TEST(StreamDriver, RejectsTimestampsThatCouldOverflowExpiry) {
+  // Programmatically built datasets bypass the .tel parser's timestamp
+  // cap, so the driver itself must refuse magnitudes where ts + window
+  // would overflow signed 64-bit instead of computing UB.
+  SharedStreamContext ctx(TwoVertexSchema());
+  RecordingEngine engine;
+  ctx.Attach(&engine);
+
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 0};
+  TemporalEdge e;
+  e.id = 0;
+  e.src = 0;
+  e.dst = 1;
+  e.ts = kMaxStreamTimestamp + 1;
+  ds.edges.push_back(e);
+
+  StreamConfig config;
+  config.window = 10;
+  const StreamResult res = RunStream(ds, config, &ctx);
+  EXPECT_FALSE(res.completed);
+  EXPECT_FALSE(res.error.ok());
+  EXPECT_EQ(res.events, 0u);
+  EXPECT_TRUE(engine.events.empty());
+
+  // An oversized window is refused the same way, even with tame edges.
+  StreamConfig huge_window;
+  huge_window.window = kMaxStreamTimestamp + 1;
+  const StreamResult res2 = RunStream(ThreeEdges(), huge_window, &ctx);
+  EXPECT_FALSE(res2.completed);
+  EXPECT_FALSE(res2.error.ok());
+  EXPECT_EQ(res2.events, 0u);
+
+  // Timestamps and windows at the cap itself are fine: the expiry sum
+  // kMaxStreamTimestamp + kMaxStreamTimestamp stays below int64 max.
+  SharedStreamContext ok_ctx(TwoVertexSchema());
+  TemporalDataset ok_ds;
+  ok_ds.vertex_labels = {0, 0};
+  TemporalEdge near;
+  near.id = 0;
+  near.src = 0;
+  near.dst = 1;
+  near.ts = kMaxStreamTimestamp;
+  ok_ds.edges.push_back(near);
+  StreamConfig at_cap;
+  at_cap.window = kMaxStreamTimestamp;
+  const StreamResult res3 = RunStream(ok_ds, at_cap, &ok_ctx);
+  EXPECT_TRUE(res3.completed);
+  EXPECT_TRUE(res3.error.ok());
+  EXPECT_EQ(res3.events, 2u);  // the arrival and its expiration
+}
+
+/// Memory estimate proportional to the live-edge count: unlike the real
+/// engines (whose pools never shrink), this makes the mid-stream window
+/// high-water point genuinely larger than the end state.
+class LiveWeightedEngine : public ContinuousEngine {
+ public:
+  std::string name() const override { return "live-weighted"; }
+  void OnEdgeInserted(const TemporalEdge&) override { ++live_; }
+  void OnEdgeExpiring(const TemporalEdge&) override { --live_; }
+  size_t EstimateMemoryBytes() const override { return live_ << 20; }
+
+ private:
+  size_t live_ = 0;
+};
+
+TEST(StreamDriver, PeakMemoryCatchesHighWaterBetweenSamples) {
+  // 20 arrivals, then a pure-expiry tail: the peak (20 live edges) sits
+  // between the adaptive sample points, and every sample the old cadence
+  // took after the tail began would see a shrinking window. The driver
+  // must sample the high-water point explicitly.
+  SharedStreamContext ctx(TwoVertexSchema());
+  LiveWeightedEngine engine;
+  ctx.Attach(&engine);
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 0};
+  for (size_t i = 0; i < 20; ++i) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(i);
+    e.src = 0;
+    e.dst = 1;
+    e.ts = static_cast<Timestamp>(i + 1);
+    ds.edges.push_back(e);
+  }
+  StreamConfig config;
+  config.window = 1000;  // nothing expires until the stream is exhausted
+  const StreamResult res = RunStream(ds, config, &ctx);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GE(res.peak_memory_bytes, size_t{20} << 20);
+}
+
+/// Context that records the size of every batch the driver hands it.
+class BatchRecordingContext : public SharedStreamContext {
+ public:
+  using SharedStreamContext::SharedStreamContext;
+  void OnEdgeArrivalBatch(const TemporalEdge* edges, size_t count) override {
+    arrival_batches.push_back(count);
+    SharedStreamContext::OnEdgeArrivalBatch(edges, count);
+  }
+  void OnEdgeExpiryBatch(const TemporalEdge* edges, size_t count) override {
+    expiry_batches.push_back(count);
+    SharedStreamContext::OnEdgeExpiryBatch(edges, count);
+  }
+  std::vector<size_t> arrival_batches;
+  std::vector<size_t> expiry_batches;
+};
+
+TEST(StreamDriver, CoalescesSameTimestampRuns) {
+  TemporalDataset ds;
+  ds.vertex_labels = {0, 0};
+  const Timestamp times[] = {1, 1, 1, 2, 2, 9};
+  for (size_t i = 0; i < 6; ++i) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(i);
+    e.src = 0;
+    e.dst = 1;
+    e.ts = times[i];
+    ds.edges.push_back(e);
+  }
+  StreamConfig config;
+  config.window = 100;
+  {
+    BatchRecordingContext ctx(TwoVertexSchema());
+    RecordingEngine engine;
+    ctx.Attach(&engine);
+    const StreamResult res = RunStream(ds, config, &ctx);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.events, 12u);
+    EXPECT_EQ(ctx.arrival_batches, (std::vector<size_t>{3, 2, 1}));
+    EXPECT_EQ(ctx.expiry_batches, (std::vector<size_t>{3, 2, 1}));
+    ASSERT_EQ(engine.events.size(), 12u);  // per-edge hooks, batched driver
+  }
+  {
+    // The cap splits runs; 1 restores the one-call-per-event behavior.
+    BatchRecordingContext ctx(TwoVertexSchema());
+    config.max_batch = 2;
+    const StreamResult res = RunStream(ds, config, &ctx);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(ctx.arrival_batches, (std::vector<size_t>{2, 1, 2, 1}));
+  }
+  {
+    BatchRecordingContext ctx(TwoVertexSchema());
+    config.max_batch = 1;
+    const StreamResult res = RunStream(ds, config, &ctx);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(ctx.arrival_batches, std::vector<size_t>(6, 1));
+    EXPECT_EQ(ctx.expiry_batches, std::vector<size_t>(6, 1));
+  }
+}
+
 TEST(SharedStreamContext, OutOfOrderExpiryIsSupported) {
   // Out-of-order expiry (not produced by the stream driver, but allowed on
   // the context) is an O(1) unlink in the slot-recycled storage — no

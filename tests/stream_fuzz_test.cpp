@@ -131,6 +131,47 @@ TEST_P(StreamFuzz, TcmFilterAblations) {
     SingleQueryContext<TcmEngine> run(query_, schema_, config);
     SCOPED_TRACE("flat adjacency scan");
     Check(&run);
+    if (HasFailure()) return;
+  }
+  {
+    // Prefilter ablation: skipping provably-empty bucket scans via the
+    // Bloom signature masks must be byte-equivalent to always scanning.
+    TcmConfig config;
+    config.use_bloom_prefilter = false;
+    SingleQueryContext<TcmEngine> run(query_, schema_, config);
+    SCOPED_TRACE("bloom prefilter off");
+    Check(&run);
+  }
+}
+
+// The Bloom prefilter may only skip scans that match nothing: the matched
+// counter is identical with it on or off, and the scanned counter never
+// grows. On directed multi-label streams the masks are direction-aware,
+// so scans of buckets holding only wrong-direction entries are skipped
+// and the scanned count strictly drops.
+TEST_P(StreamFuzz, PrefilterOnlySkipsEmptyScans) {
+  StreamConfig config;
+  config.window = GetParam().window;
+
+  TcmConfig off;
+  off.use_bloom_prefilter = false;
+  SingleQueryContext<TcmEngine> run_off(query_, schema_, off);
+  const StreamResult res_off = RunStream(dataset_, config, &run_off);
+  ASSERT_TRUE(res_off.completed);
+
+  SingleQueryContext<TcmEngine> run_on(query_, schema_);
+  const StreamResult res_on = RunStream(dataset_, config, &run_on);
+  ASSERT_TRUE(res_on.completed);
+
+  EXPECT_EQ(res_on.adj_entries_matched, res_off.adj_entries_matched)
+      << "prefilter skipped a scan that would have matched";
+  EXPECT_LE(res_on.adj_entries_scanned, res_off.adj_entries_scanned);
+  if (GetParam().spec.directed && GetParam().spec.num_edge_labels > 1) {
+    // Directed buckets mix both orientations; a multi-label stream always
+    // produces some wrong-direction-only buckets for the masks to skip.
+    EXPECT_LT(res_on.adj_entries_scanned, res_off.adj_entries_scanned)
+        << "direction-aware masks skipped nothing on a directed "
+           "multi-label stream";
   }
 }
 
@@ -262,6 +303,65 @@ TEST_P(StreamFuzz, ParallelMatchesSerialMultiQuery) {
       EXPECT_EQ(parallel.streams[qi], serial.streams[qi])
           << "per-query stream of query " << qi
           << " diverged from serial execution";
+    }
+  }
+}
+
+// Batching differential: driving the same 4-query fan-out with
+// micro-batching disabled (max_batch = 1, the historical one-call-per-
+// event behavior) and with the default batching must emit byte-identical
+// per-query match streams, serially and through the pipelined parallel
+// fan-out (DESIGN.md §9). On the same_ts_* scenarios the batches are
+// real; elsewhere this degenerates to the single-event path.
+TEST_P(StreamFuzz, BatchedMatchesUnbatchedDelivery) {
+  std::vector<QueryGraph> queries{query_};
+  for (uint64_t k = 1; k <= 3; ++k) {
+    QueryGraph variant;
+    Rng rng(GetParam().seed ^ (0x517cc1b727220a95ull * k));
+    if (GenerateQuery(dataset_, GetParam().query, &rng, &variant)) {
+      queries.push_back(variant);
+    } else {
+      queries.push_back(queries[k - 1]);
+    }
+  }
+
+  struct TaggedStreams : MultiMatchSink {
+    explicit TaggedStreams(size_t n) : streams(n) {}
+    std::vector<std::vector<std::pair<Embedding, MatchKind>>> streams;
+    void OnMatch(size_t query_index, const Embedding& embedding,
+                 MatchKind kind, uint64_t multiplicity) override {
+      ASSERT_LT(query_index, streams.size());
+      for (uint64_t i = 0; i < multiplicity; ++i) {
+        streams[query_index].emplace_back(embedding, kind);
+      }
+    }
+  };
+
+  StreamConfig unbatched;
+  unbatched.window = GetParam().window;
+  unbatched.max_batch = 1;
+  StreamConfig batched = unbatched;
+  batched.max_batch = 0;  // default coalescing
+
+  TaggedStreams reference(queries.size());
+  {
+    MultiQueryEngine engine(queries, schema_);
+    engine.set_multi_sink(&reference);
+    const StreamResult res = RunStream(dataset_, unbatched, &engine);
+    ASSERT_TRUE(res.completed);
+  }
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    TaggedStreams run(queries.size());
+    MultiQueryEngine engine(queries, schema_, TcmConfig{}, threads);
+    engine.set_multi_sink(&run);
+    const StreamResult res = RunStream(dataset_, batched, &engine);
+    ASSERT_TRUE(res.completed);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(run.streams[qi], reference.streams[qi])
+          << "per-query stream of query " << qi
+          << " diverged under batched delivery";
     }
   }
 }

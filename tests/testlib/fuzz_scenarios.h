@@ -71,6 +71,15 @@ inline std::vector<FuzzScenario> DefaultFuzzScenarios() {
   // every edge slot is recycled many times mid-replay.
   add("label_skewed_wide",  111,  14, 130,  6, 4, 1.8, 1.2, false, 4, 0.50, 45);
   add("slot_churn",         112,  12, 150,  3, 2, 2.0, 0.8, false, 3, 0.50, 8);
+  // Micro-batching stressors (DESIGN.md §9): runs of arrivals share one
+  // timestamp, so the coalesced OnEdgeArrivalBatch / OnEdgeExpiryBatch
+  // paths — and through them the pipelined fan-out — are exercised by
+  // every differential test in the catalogue. Windows are sized in the
+  // coalesced timestamp unit (|E| / ts_coalesce distinct instants).
+  add("same_ts_bursts",     113,  14, 120,  3, 2, 2.0, 0.8, false, 4, 0.50, 10);
+  out.back().spec.ts_coalesce = 4;
+  add("same_ts_directed",   114,  12, 120,  3, 2, 2.0, 0.9, true,  4, 0.50, 7);
+  out.back().spec.ts_coalesce = 6;
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tcsm {
@@ -108,6 +109,100 @@ TEST(ThreadPoolTest, EmptyJobIsANoOp) {
   bool touched = false;
   pool.ParallelFor(0, [&](size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, PipelineForRunsEveryStepIndexOnceInStepOrder) {
+  ThreadPool pool(4);
+  const size_t steps = 37;
+  const size_t n = 11;
+  std::vector<std::atomic<int>> hits(steps * n);
+  // settle_seen[k] is read by the step-(k+1) bodies: PipelineFor promises
+  // settle(k) completed — and is visible — before any of them start.
+  std::vector<std::atomic<int>> settle_seen(steps + 1);
+  settle_seen[0].store(1);
+  pool.PipelineFor(
+      steps, n,
+      [&](size_t k, size_t i) {
+        EXPECT_EQ(settle_seen[k].load(), 1) << "step " << k << " opened "
+                                            << "before settle(k-1)";
+        hits[k * n + i].fetch_add(1);
+      },
+      [&](size_t k) {
+        // All of step k's bodies must be complete here.
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[k * n + i].load(), 1) << "step " << k << " index "
+                                               << i;
+        }
+        settle_seen[k + 1].store(1);
+      });
+  for (size_t j = 0; j < steps * n; ++j) EXPECT_EQ(hits[j].load(), 1);
+  EXPECT_EQ(settle_seen[steps].load(), 1);
+  // The pool is reusable afterwards, for both job kinds.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(50, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50u);
+  pool.PipelineFor(2, 4, [&](size_t, size_t) { after.fetch_add(1); },
+                   [](size_t) {});
+  EXPECT_EQ(after.load(), 58u);
+}
+
+TEST(ThreadPoolTest, PipelineForBodyExceptionSkipsRemainingSettles) {
+  ThreadPool pool(4);
+  std::atomic<size_t> settled{0};
+  std::atomic<size_t> bodies{0};
+  EXPECT_THROW(pool.PipelineFor(8, 6,
+                                [&](size_t k, size_t) {
+                                  if (k == 2) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  bodies.fetch_add(1);
+                                },
+                                [&](size_t) { settled.fetch_add(1); }),
+               std::runtime_error);
+  // Steps 0 and 1 settled; the failing step and everything after are
+  // abandoned (bodies may be skipped, settles must be).
+  EXPECT_EQ(settled.load(), 2u);
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(10, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10u);
+}
+
+TEST(ThreadPoolTest, PipelineForSettleExceptionPropagates) {
+  ThreadPool pool(4);
+  std::atomic<size_t> settled{0};
+  EXPECT_THROW(pool.PipelineFor(5, 3, [&](size_t, size_t) {},
+                                [&](size_t k) {
+                                  if (k == 1) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  settled.fetch_add(1);
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(settled.load(), 1u);
+}
+
+TEST(ThreadPoolTest, PipelineForInlineBypass) {
+  // No workers: the pipeline runs inline on the caller, steps strictly in
+  // order, exceptions propagating directly.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::pair<size_t, size_t>> order;
+  pool.PipelineFor(3, 2,
+                   [&](size_t k, size_t i) {
+                     EXPECT_EQ(std::this_thread::get_id(), caller);
+                     order.emplace_back(k, i);
+                   },
+                   [&](size_t k) { order.emplace_back(k, size_t{99}); });
+  const std::vector<std::pair<size_t, size_t>> want{
+      {0, 0}, {0, 1}, {0, 99}, {1, 0}, {1, 1}, {1, 99},
+      {2, 0}, {2, 1}, {2, 99}};
+  EXPECT_EQ(order, want);
+  // n <= 1 takes the same inline path even on a pooled pool.
+  ThreadPool pooled(4);
+  size_t ran = 0;
+  pooled.PipelineFor(4, 1, [&](size_t, size_t) { ++ran; },
+                     [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 8u);
 }
 
 }  // namespace
