@@ -109,6 +109,7 @@ StreamResult RunStream(const TemporalDataset& dataset,
       now.adj_entries_matched - base.adj_entries_matched;
   result.peak_memory_bytes = peak.peak_bytes();
   result.num_threads = context->num_threads();
+  result.num_shards = context->num_shards();
   context->set_deadline(nullptr);
   return result;
 }

@@ -46,10 +46,28 @@ struct UvPair {
 /// flip == false: qe.u -> ed.src, qe.v -> ed.dst; flip == true: swapped.
 /// Directed graphs admit only flip == false (query direction u->v must
 /// match data direction src->dst).
-bool StaticFeasible(const QueryGraph& query, const TemporalGraph& graph,
-                    EdgeId qe, const TemporalEdge& ed, bool flip);
+/// Generic over the graph type: any store exposing VertexLabel() works
+/// (the canonical TemporalGraph, or a sharded view — see src/shard/).
+template <typename GraphT>
+bool StaticFeasible(const QueryGraph& query, const GraphT& graph, EdgeId qe,
+                    const TemporalEdge& ed, bool flip) {
+  if (query.directed() && flip) return false;
+  const QueryEdge& q = query.Edge(qe);
+  if (q.elabel != ed.label) return false;
+  const VertexId image_u = flip ? ed.dst : ed.src;
+  const VertexId image_v = flip ? ed.src : ed.dst;
+  return query.VertexLabel(q.u) == graph.VertexLabel(image_u) &&
+         query.VertexLabel(q.v) == graph.VertexLabel(image_v);
+}
 
-class MaxMinIndex {
+/// The index is a template over the graph type so the identical filtering
+/// code runs against the canonical single graph and against a sharded
+/// read view (src/shard/sharded_graph.h) — the view exposes the same
+/// adjacency surface (VertexLabel / directed / MayHaveMatching /
+/// NeighborsMatching / ForEachNeighbor), just routed to the owning
+/// shard. `MaxMinIndex` below is the canonical instantiation.
+template <typename GraphT>
+class BasicMaxMinIndex {
  public:
   /// `graph` and `dag` must outlive the index. The graph must be the
   /// engine's live windowed graph; the index reads adjacency lazily.
@@ -61,8 +79,9 @@ class MaxMinIndex {
   /// scan first consults the graph's per-vertex direction-aware Bloom
   /// signature and is skipped outright when no entry can match — the
   /// scan counters then record zero visits for it.
-  MaxMinIndex(const TemporalGraph* graph, const QueryDag* dag,
-              bool partitioned_adjacency = true, bool bloom_prefilter = true);
+  BasicMaxMinIndex(const GraphT* graph, const QueryDag* dag,
+                   bool partitioned_adjacency = true,
+                   bool bloom_prefilter = true);
 
   /// Incremental update after `ed` was inserted into the graph
   /// (TCMInsertion). Appends to `touched` the entries whose gate values
@@ -152,7 +171,7 @@ class MaxMinIndex {
     }
   }
 
-  const TemporalGraph* graph_;
+  const GraphT* graph_;
   const QueryDag* dag_;
   const QueryGraph* query_;
   const bool partitioned_;
@@ -165,6 +184,16 @@ class MaxMinIndex {
   std::vector<std::unordered_map<VertexId, uint8_t>> dirty_;
 };
 
+/// The canonical instantiation every existing call site uses; compiled
+/// once in maxmin_index.cpp (extern template keeps rebuilds cheap).
+using MaxMinIndex = BasicMaxMinIndex<TemporalGraph>;
+
+}  // namespace tcsm
+
+#include "filter/maxmin_index-inl.h"
+
+namespace tcsm {
+extern template class BasicMaxMinIndex<TemporalGraph>;
 }  // namespace tcsm
 
 #endif  // TCSM_FILTER_MAXMIN_INDEX_H_

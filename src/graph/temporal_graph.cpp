@@ -115,13 +115,15 @@ void TemporalGraph::RebuildSigMasks(VertexId v) {
 }
 
 void TemporalGraph::DrainPendingFrees() {
-  if (pending_free_.empty()) return;
   for (const uint32_t slot : pending_free_) {
     const EdgeId id = slots_[slot].edge.id;
     ring_[id - base_id_] = kInvalidSlot;
     free_slots_.push_back(slot);
   }
   pending_free_.clear();
+  // The front-advance runs even with nothing newly freed: InsertEdgeAs
+  // leaves permanent kInvalidSlot holes for skipped ids, and those must
+  // slide out of the ring once FIFO expiry reaches them.
   while (!ring_.empty() && ring_.front() == kInvalidSlot) {
     ring_.pop_front();
     ++base_id_;
@@ -130,6 +132,11 @@ void TemporalGraph::DrainPendingFrees() {
 
 EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
                                  Label label) {
+  return InsertEdgeAs(next_id_, src, dst, ts, label);
+}
+
+EdgeId TemporalGraph::InsertEdgeAs(EdgeId id, VertexId src, VertexId dst,
+                                   Timestamp ts, Label label) {
   TCSM_CHECK(src < vertex_labels_.size() && dst < vertex_labels_.size());
   // No simple query can match a self loop (vertex images are injective);
   // loaders drop them on ingest and the store rejects them outright.
@@ -137,9 +144,16 @@ EdgeId TemporalGraph::InsertEdge(VertexId src, VertexId dst, Timestamp ts,
   // Ids are 32-bit dense arrival indices and are never recycled, so one
   // graph instance supports 2^32 - 1 arrivals per ClearEdges(); abort
   // loudly at the limit instead of silently wrapping (see the header).
-  TCSM_CHECK(next_id_ != kInvalidEdge && "edge-id space exhausted");
+  TCSM_CHECK(id != kInvalidEdge && "edge-id space exhausted");
+  TCSM_CHECK(id >= next_id_ && "caller-assigned ids must be ascending");
   DrainPendingFrees();
-  const EdgeId id = next_id_++;
+  // Ids skipped over become holes: ring entries that were never backed by
+  // a slot, indistinguishable from already-reclaimed ids to every reader.
+  while (next_id_ < id) {
+    ring_.push_back(kInvalidSlot);
+    ++next_id_;
+  }
+  ++next_id_;
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();

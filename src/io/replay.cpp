@@ -169,6 +169,7 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
       now.adj_entries_matched - base.adj_entries_matched;
   result.peak_memory_bytes = peak.peak_bytes();
   result.num_threads = context->num_threads();
+  result.num_shards = context->num_shards();
   return result;
 }
 

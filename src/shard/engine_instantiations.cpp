@@ -1,0 +1,11 @@
+// Explicit instantiations of the matching templates over the sharded
+// graph view — the one translation unit that pays their compile cost
+// (see the extern declarations in sharded_engine.h).
+#include "shard/sharded_engine.h"
+
+namespace tcsm {
+
+template class BasicMaxMinIndex<ShardedGraphView>;
+template class BasicTcmEngine<ShardedGraphView>;
+
+}  // namespace tcsm

@@ -168,6 +168,75 @@ TEST(TemporalGraph, RemovedEdgeStaysReadableUntilNextInsert) {
   EXPECT_FALSE(g.Alive(e0));
 }
 
+TEST(TemporalGraph, InsertEdgeAsSkippedIdsActReclaimed) {
+  // A shard holding every other edge of a global stream: the skipped ids
+  // must behave exactly like expired-and-reclaimed ids.
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdgeAs(0, 0, 1, 1);
+  const EdgeId e4 = g.InsertEdgeAs(4, 0, 1, 2);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e4, 4u);
+  EXPECT_EQ(g.NumEdgesEver(), 5u);
+  EXPECT_EQ(g.NumAliveEdges(), 2u);
+  EXPECT_TRUE(g.Alive(e0));
+  EXPECT_TRUE(g.Alive(e4));
+  for (const EdgeId hole : {1u, 2u, 3u}) EXPECT_FALSE(g.Alive(hole));
+  EXPECT_EQ(g.Edge(e4).ts, 2);
+  // Plain InsertEdge continues the same id sequence after the subset.
+  EXPECT_EQ(g.InsertEdge(0, 1, 3), 5u);
+}
+
+TEST(TemporalGraph, InsertEdgeAsIdSpanBoundedUnderChurn) {
+  // FIFO churn over a sparse subset (1 of every 4 global ids): the holes
+  // must slide out of the id ring with the expiries, keeping the span
+  // O(window) rather than O(skipped stream).
+  TemporalGraph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  std::vector<EdgeId> live;
+  for (Timestamp t = 1; t <= 100; ++t) {
+    live.push_back(g.InsertEdgeAs(static_cast<EdgeId>(4 * t), 0, 1, t));
+    if (live.size() > 4) {
+      g.RemoveEdge(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(g.NumAliveEdges(), 4u);
+  EXPECT_LE(g.NumSlots(), 6u);
+  EXPECT_LE(g.IdSpan(), 4u * 6u);
+  for (const EdgeId id : live) {
+    EXPECT_TRUE(g.Alive(id));
+    EXPECT_EQ(g.Edge(id).id, id);
+  }
+}
+
+TEST(TemporalGraph, EdgeNearAndAliveEdgeMatchPlainReads) {
+  TemporalGraph g;
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(0);
+  const EdgeId e0 = g.InsertEdge(a, b, 1);
+  EXPECT_EQ(&g.EdgeNear(a, e0), &g.Edge(e0));
+  EXPECT_TRUE(g.AliveEdge(g.Edge(e0)));
+  const TemporalEdge copy = g.Edge(e0);
+  g.RemoveEdge(e0);
+  EXPECT_FALSE(g.AliveEdge(copy));
+}
+
+TEST(TemporalGraph, VertexSigAccessorsMirrorMayHaveMatching) {
+  TemporalGraph g(/*directed=*/true);
+  const VertexId a = g.AddVertex(0);
+  const VertexId b = g.AddVertex(1);
+  g.InsertEdge(a, b, 1, 7);
+  EXPECT_TRUE(g.VertexSigOut(a).MayContain(PackPair(7, 1)));
+  EXPECT_TRUE(g.VertexSigIn(b).MayContain(PackPair(7, 0)));
+  EXPECT_EQ(g.VertexSigAny(a).MayContain(PackPair(7, 1)),
+            g.MayHaveMatching(a, 7, 1, /*want_out=*/true));
+  EXPECT_FALSE(g.VertexSigIn(a).MayContain(PackPair(7, 1)));
+  EXPECT_FALSE(g.MayHaveMatching(a, 7, 1, /*want_out=*/false));
+}
+
 TEST(TemporalGraph, ClearEdgesKeepsVerticesAndRestartsIds) {
   TemporalGraph g = testlib::RunningExampleGraph();
   EXPECT_EQ(g.NumAliveEdges(), 14u);

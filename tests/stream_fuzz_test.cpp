@@ -13,6 +13,7 @@
 
 #include <array>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/tcm_engine.h"
 #include "datasets/synthetic.h"
 #include "querygen/query_generator.h"
+#include "shard/sharded_multi_engine.h"
 #include "testlib/fuzz_scenarios.h"
 #include "testlib/stream_checker.h"
 
@@ -303,6 +305,84 @@ TEST_P(StreamFuzz, ParallelMatchesSerialMultiQuery) {
       EXPECT_EQ(parallel.streams[qi], serial.streams[qi])
           << "per-query stream of query " << qi
           << " diverged from serial execution";
+    }
+  }
+}
+
+// Sharded differential: the same 4-query fan-out over a vertex-
+// partitioned ShardedStreamContext at 2, 4, and 8 shards, each at 1 and
+// 4 threads, must emit exactly the serial MultiQueryEngine's match
+// stream — per query AND globally, byte-identical including order (the
+// shard-then-attach deterministic merge with contiguous engine placement
+// of DESIGN.md §10). Scan counters must match too: mirrored owner
+// adjacency makes every engine read — candidate scans included —
+// identical to the unsharded run, not merely the final embedding sets.
+TEST_P(StreamFuzz, ShardedMatchesSerial) {
+  std::vector<QueryGraph> queries{query_};
+  for (uint64_t k = 1; k <= 3; ++k) {
+    QueryGraph variant;
+    Rng rng(GetParam().seed ^ (0x517cc1b727220a95ull * k));
+    if (GenerateQuery(dataset_, GetParam().query, &rng, &variant)) {
+      queries.push_back(variant);
+    } else {
+      queries.push_back(queries[k - 1]);
+    }
+  }
+
+  struct TaggedStreams : MultiMatchSink {
+    explicit TaggedStreams(size_t n) : streams(n) {}
+    std::vector<std::vector<std::pair<Embedding, MatchKind>>> streams;
+    /// The global interleaving across queries, for the whole-stream
+    /// byte-identity check (per-query equality alone would not catch a
+    /// merge-order bug).
+    std::vector<std::tuple<size_t, Embedding, MatchKind>> global;
+    void OnMatch(size_t query_index, const Embedding& embedding,
+                 MatchKind kind, uint64_t multiplicity) override {
+      ASSERT_LT(query_index, streams.size());
+      for (uint64_t i = 0; i < multiplicity; ++i) {
+        streams[query_index].emplace_back(embedding, kind);
+        global.emplace_back(query_index, embedding, kind);
+      }
+    }
+  };
+
+  StreamConfig config;
+  config.window = GetParam().window;
+
+  TaggedStreams serial(queries.size());
+  StreamResult serial_res;
+  {
+    MultiQueryEngine engine(queries, schema_);
+    engine.set_multi_sink(&serial);
+    serial_res = RunStream(dataset_, config, &engine);
+    ASSERT_TRUE(serial_res.completed);
+    ASSERT_EQ(serial_res.num_shards, 1u);
+  }
+
+  for (const size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                   std::to_string(threads));
+      TaggedStreams sharded(queries.size());
+      ShardedMultiQueryEngine engine(queries, schema_, shards, TcmConfig{},
+                                     threads);
+      engine.set_multi_sink(&sharded);
+      const StreamResult res = RunStream(dataset_, config, &engine);
+      ASSERT_TRUE(res.completed);
+      EXPECT_EQ(res.num_shards, shards);
+      EXPECT_EQ(res.num_threads, threads);
+      EXPECT_EQ(res.occurred + res.expired,
+                serial_res.occurred + serial_res.expired);
+      EXPECT_EQ(res.adj_entries_scanned, serial_res.adj_entries_scanned)
+          << "sharded execution scanned different adjacency entries";
+      EXPECT_EQ(res.adj_entries_matched, serial_res.adj_entries_matched);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        EXPECT_EQ(sharded.streams[qi], serial.streams[qi])
+            << "per-query stream of query " << qi
+            << " diverged from serial execution";
+      }
+      EXPECT_EQ(sharded.global, serial.global)
+          << "global match interleaving diverged from serial execution";
     }
   }
 }

@@ -14,8 +14,12 @@ Measurements are matched by identity: every field except the known
 metric/outcome fields (elapsed time, rates, speedups, result counts)
 forms the key, so a baseline row matches exactly the current row with
 the same bench name, thread count, query count, dataset, and so on.
-Rows missing from either side are reported as warnings, not failures —
-benches evolve; re-pin with --update-baseline (see docs/REPRODUCING.md).
+Current rows with no baseline are reported as "new" warnings, but a
+baseline row with no counterpart in the fresh run is a HARD FAILURE —
+it means a gated configuration silently stopped being measured (bench
+renamed, scale changed, workflow step dropped). The error names the
+missing identity keys; re-pin with --update-baseline if the change is
+intentional (see docs/REPRODUCING.md).
 
 Usage:
   bench_compare.py --baseline bench/baselines --current out1.log [out2.log ...]
@@ -101,7 +105,12 @@ def load_dir(path):
 
 
 def compare(baseline_rows, current_rows, metric, threshold, out=sys.stdout):
-    """Returns (num_regressions, num_compared); prints one line per pair."""
+    """Returns (num_regressions, num_compared, missing_rows).
+
+    missing_rows are baseline measurements with no identity-matching row
+    in the current run — a pinned configuration that silently stopped
+    being measured. Callers must treat a non-empty list as a failure.
+    """
     base = {}
     for row in baseline_rows:
         base[identity(row)] = row
@@ -129,11 +138,13 @@ def compare(baseline_rows, current_rows, metric, threshold, out=sys.stdout):
             regressions += 1
         print(f"  {verdict}: {fmt_identity(row)}: {metric} "
               f"{old:.1f} -> {new:.1f} ({delta:+.1%})", file=out)
+    missing = []
     for key, ref in base.items():
         if key not in seen and metric in ref:
-            print(f"  missing from current run: {fmt_identity(ref)}",
+            missing.append(ref)
+            print(f"  MISSING from current run: {fmt_identity(ref)}",
                   file=out)
-    return regressions, compared
+    return regressions, compared, missing
 
 
 def update_baseline(baseline_dir, current_rows):
@@ -164,10 +175,16 @@ def self_test():
     jitter = [dict(r, events_per_sec=r["events_per_sec"] * 0.95)
               for r in baseline]
     sink = open(os.devnull, "w", encoding="utf-8")
-    slow_reg, slow_cmp = compare(baseline, slowed, "events_per_sec", 0.15,
-                                 out=sink)
-    ok_reg, ok_cmp = compare(baseline, jitter, "events_per_sec", 0.15,
-                             out=sink)
+    slow_reg, slow_cmp, slow_missing = compare(
+        baseline, slowed, "events_per_sec", 0.15, out=sink)
+    ok_reg, ok_cmp, ok_missing = compare(
+        baseline, jitter, "events_per_sec", 0.15, out=sink)
+    # A baseline row whose configuration vanished from the fresh run (the
+    # parallel_scaling measurement below) must surface as a named missing
+    # identity, never pass silently or raise a bare KeyError.
+    partial = [r for r in jitter if r["bench"] != "parallel_scaling"]
+    miss_reg, miss_cmp, missing = compare(
+        baseline, partial, "events_per_sec", 0.15, out=sink)
     sink.close()
     failures = []
     if slow_cmp != len(baseline) or slow_reg != len(baseline):
@@ -177,6 +194,13 @@ def self_test():
     if ok_cmp != len(baseline) or ok_reg != 0:
         failures.append(
             f"5% jitter must pass (flagged {ok_reg}/{ok_cmp})")
+    if ok_missing or slow_missing:
+        failures.append("full runs must report no missing measurements")
+    if (len(missing) != 1 or missing[0]["bench"] != "parallel_scaling"
+            or miss_cmp != len(partial)):
+        failures.append(
+            f"dropping a baselined configuration must be reported as "
+            f"exactly that missing identity (got {len(missing)})")
     roundtrip = parse_bench_lines(
         "noise\nBENCH " + json.dumps(baseline[0]) + "\n", "<self-test>")
     if roundtrip != [baseline[0]]:
@@ -226,11 +250,19 @@ def main():
 
     print(f"comparing {len(current)} measurements against {args.baseline} "
           f"(metric {args.metric}, threshold {args.threshold:.0%}):")
-    regressions, compared = compare(load_dir(args.baseline), current,
-                                    args.metric, args.threshold)
+    regressions, compared, missing = compare(load_dir(args.baseline), current,
+                                             args.metric, args.threshold)
     if compared == 0:
         raise SystemExit("no overlapping measurements to compare — "
                          "re-pin the baselines (--update-baseline)")
+    if missing:
+        print(f"FAIL: {len(missing)} baselined measurement(s) missing from "
+              f"the current run — a gated configuration stopped being "
+              f"measured:")
+        for ref in missing:
+            print(f"  {fmt_identity(ref)}")
+        print("re-pin with --update-baseline if this change is intentional")
+        sys.exit(1)
     if regressions:
         print(f"FAIL: {regressions} of {compared} measurements regressed "
               f"more than {args.threshold:.0%}")
