@@ -42,6 +42,7 @@ struct Measurement {
   double elapsed_ms = 0;
   size_t events = 0;
   size_t peak_bytes = 0;
+  size_t peak_event_index = 0;
   uint64_t occurred = 0;
   uint64_t scanned = 0;
   uint64_t matched = 0;
@@ -61,7 +62,10 @@ Measurement RunMode(const Cell& cell, bool partitioned) {
     const StreamResult res = RunStream(cell.dataset, stream, &run);
     out.elapsed_ms += res.elapsed_ms;
     out.events += res.events;
-    out.peak_bytes = std::max(out.peak_bytes, res.peak_memory_bytes);
+    if (res.peak_memory_bytes > out.peak_bytes) {
+      out.peak_event_index = res.peak_memory_event_index;
+      out.peak_bytes = res.peak_memory_bytes;
+    }
     out.occurred += res.occurred;
     out.scanned += res.adj_entries_scanned;
     out.matched += res.adj_entries_matched;
@@ -81,6 +85,7 @@ void Emit(const Cell& cell, const char* mode, const Measurement& m) {
       .Field("events_per_sec",
              secs > 0 ? static_cast<double>(m.events) / secs : 0.0)
       .Field("peak_bytes", static_cast<uint64_t>(m.peak_bytes))
+      .Field("peak_event_index", static_cast<uint64_t>(m.peak_event_index))
       .Field("occurred", m.occurred)
       .Field("adj_entries_scanned", m.scanned)
       .Field("adj_entries_matched", m.matched);

@@ -23,6 +23,7 @@
 #include "io/replay.h"
 #include "io/stream_reader.h"
 #include "io/stream_writer.h"
+#include "obs/observability.h"
 #include "query/query_io.h"
 #include "querygen/query_generator.h"
 #include "shard/sharded_context.h"
@@ -168,6 +169,14 @@ std::optional<TemporalDataset> BuildSynthetic(const FlagSet& flags,
         static_cast<size_t>(flags.GetInt("vlabels", 1));
     spec.num_edge_labels = static_cast<size_t>(flags.GetInt("elabels", 1));
     spec.avg_parallel_edges = flags.GetDouble("parallel", 1.5);
+    // Coalesced timestamps produce runs of same-instant events, the
+    // shape that engages the micro-batched delivery paths downstream.
+    const int64_t coalesce = flags.GetInt("coalesce", 1);
+    if (coalesce < 1) {
+      out << "error: --coalesce must be >= 1\n";
+      return std::nullopt;
+    }
+    spec.ts_coalesce = static_cast<size_t>(coalesce);
     spec.directed = flags.Has("directed");
     spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     return GenerateSynthetic(spec);
@@ -243,9 +252,127 @@ void PrintStreamResult(const std::string& engine_name,
       << " occurred=" << res.occurred << " expired=" << res.expired
       << " elapsed_ms=" << FormatDouble(res.elapsed_ms, 2)
       << " peak_bytes=" << res.peak_memory_bytes
+      << " peak_at=" << res.peak_memory_event_index
       << " adj_scanned=" << res.adj_entries_scanned
       << " adj_matched=" << res.adj_entries_matched
       << (res.completed ? "" : " (INCOMPLETE: limit hit)") << "\n";
+}
+
+/// Observability surface shared by run/replay: --metrics[=on|off],
+/// --stats-every=N, --trace-out=FILE (DESIGN.md §11).
+struct ObsCliOptions {
+  std::unique_ptr<Observability> obs;  // null = metrics off
+  size_t stats_every = 0;
+  std::string trace_path;
+};
+
+/// Parses the observability flags. --stats-every/--trace-out imply
+/// metrics on; combining either with an explicit --metrics=off is a
+/// contradiction. Returns false after printing an error.
+bool ResolveObsFlags(const FlagSet& flags, std::ostream& out,
+                     ObsCliOptions* o) {
+  bool metrics_on = false;
+  bool metrics_off = false;
+  if (flags.Has("metrics")) {
+    const std::string v = flags.GetString("metrics");
+    if (v.empty() || v == "on") {
+      metrics_on = true;
+    } else if (v == "off") {
+      metrics_off = true;
+    } else {
+      out << "error: bad --metrics (expected 'on' or 'off')\n";
+      return false;
+    }
+  }
+  const int64_t every = flags.GetInt("stats-every", 0);
+  if (every < 0) {
+    out << "error: --stats-every must be >= 0\n";
+    return false;
+  }
+  o->stats_every = static_cast<size_t>(every);
+  o->trace_path = flags.GetString("trace-out");
+  if (metrics_off && (o->stats_every > 0 || !o->trace_path.empty())) {
+    out << "error: --metrics=off contradicts --stats-every/--trace-out\n";
+    return false;
+  }
+  if (metrics_on || o->stats_every > 0 || !o->trace_path.empty()) {
+    o->obs = std::make_unique<Observability>();
+    if (!o->trace_path.empty()) o->obs->EnableTrace();
+  }
+  return true;
+}
+
+/// The observability flags only make sense where a stream is driven;
+/// reject them loudly on the other subcommands instead of silently
+/// ignoring a typo'd invocation. Returns true (after printing an error)
+/// when any such flag is present.
+bool RejectObsFlags(const FlagSet& flags, const char* cmd,
+                    std::ostream& out) {
+  for (const char* f : {"metrics", "stats-every", "trace-out"}) {
+    if (flags.Has(f)) {
+      out << "error: --" << f
+          << " only applies to streaming subcommands (run, replay), not '"
+          << cmd << "'\n";
+      return true;
+    }
+  }
+  return false;
+}
+
+/// End-of-run observability output: writes the trace file (validated
+/// offline by tools/check_trace.py) and, in text mode, the per-stage
+/// latency table. Returns non-zero on trace write failure.
+int FinishObs(const ObsCliOptions& o, bool json, std::ostream& out) {
+  if (o.obs == nullptr) return 0;
+  if (!o.trace_path.empty()) {
+    std::ofstream tf(o.trace_path);
+    if (!tf) {
+      out << "error: cannot open " << o.trace_path << "\n";
+      return 1;
+    }
+    o.obs->trace()->WriteJson(tf);
+    tf.flush();
+    if (!tf) {
+      out << "error: failed writing " << o.trace_path << "\n";
+      return 1;
+    }
+    if (!json) {
+      out << "wrote trace: " << o.obs->trace()->NumSpans() << " spans to "
+          << o.trace_path << "\n";
+    }
+  }
+  if (!json) {
+    const std::vector<StageSummaryRow> rows =
+        SummarizeStages(o.obs->Snapshot());
+    if (!rows.empty()) {
+      TablePrinter table({"stage", "count", "p50_us", "p99_us", "total_ms"});
+      for (const StageSummaryRow& r : rows) {
+        table.AddRow({r.stage, std::to_string(r.count),
+                      FormatDouble(r.p50_us, 2), FormatDouble(r.p99_us, 2),
+                      FormatDouble(r.total_ms, 2)});
+      }
+      table.Print(out);
+    }
+  }
+  return 0;
+}
+
+/// The "stages" object of the replay --json line: per-stage count and
+/// latency quantiles from the registry snapshot.
+std::string StagesJson(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const StageSummaryRow& r : SummarizeStages(snap)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << r.stage << "\":{\"count\":" << r.count
+       << ",\"p50_us\":" << FormatDouble(r.p50_us, 3)
+       << ",\"p99_us\":" << FormatDouble(r.p99_us, 3)
+       << ",\"total_ms\":" << FormatDouble(r.total_ms, 3) << "}";
+  }
+  os << "}";
+  return os.str();
 }
 
 }  // namespace
@@ -256,6 +383,7 @@ int CmdStats(const Args& args, std::ostream& out) {
     out << "usage: tcsm stats <dataset> [--directed] [--labels=file]\n";
     return 2;
   }
+  if (RejectObsFlags(flags, "stats", out)) return 2;
   const auto ds = LoadDataset(flags, flags.positional()[0], out);
   if (!ds) return 1;
   PrintStats(*ds, out);
@@ -267,12 +395,14 @@ int CmdGen(const Args& args, std::ostream& out) {
   if (flags.positional().empty() || flags.positional().size() > 2) {
     out << "usage: tcsm gen <preset|random> [<out.tel>|-] [--scale=S] "
            "[--seed=K] [--window=D] [--expiry=explicit] [--vertices=N "
-           "--edges=M --vlabels=a --elabels=b --parallel=p --directed]\n"
+           "--edges=M --vlabels=a --elabels=b --parallel=p --coalesce=c "
+           "--directed]\n"
            "   presets: ";
     for (const auto& p : PresetNames()) out << p << " ";
     out << "\n";
     return 2;
   }
+  if (RejectObsFlags(flags, "gen", out)) return 2;
   const auto ds = BuildSynthetic(flags, flags.positional()[0], out);
   if (!ds) return 1;
 
@@ -312,11 +442,12 @@ int CmdGenData(const Args& args, std::ostream& out) {
   if (flags.positional().size() != 2) {
     out << "usage: tcsm gen-data <preset|random> <out-file> [--scale=S] "
            "[--seed=K] [--vertices=N --edges=M --vlabels=a --elabels=b "
-           "--parallel=p --directed]\n   presets: ";
+           "--parallel=p --coalesce=c --directed]\n   presets: ";
     for (const auto& p : PresetNames()) out << p << " ";
     out << "\n";
     return 2;
   }
+  if (RejectObsFlags(flags, "gen-data", out)) return 2;
   const std::string path = flags.positional()[1];
   const auto ds = BuildSynthetic(flags, flags.positional()[0], out);
   if (!ds) return 1;
@@ -344,6 +475,7 @@ int CmdGenQuery(const Args& args, std::ostream& out) {
            "[--labels=file]\n";
     return 2;
   }
+  if (RejectObsFlags(flags, "gen-query", out)) return 2;
   const auto ds = LoadDataset(flags, flags.positional()[0], out);
   if (!ds) return 1;
   QueryGenOptions opt;
@@ -374,7 +506,8 @@ int CmdRun(const Args& args, std::ostream& out) {
     out << "usage: tcsm run <dataset> <query-file> [--window=w] "
            "[--directed] [--labels=file] [--limit_ms=T] [--threads=N] "
            "[--shards=N] [--engine=tcm|timing|symbi|local] [--print] "
-           "[--canonical]\n";
+           "[--canonical] [--metrics[=on|off]] [--stats-every=N] "
+           "[--trace-out=FILE]\n";
     return 2;
   }
   TelHeader header;
@@ -444,11 +577,17 @@ int CmdRun(const Args& args, std::ostream& out) {
     sink = canonical.get();
   }
   engine->set_sink(sink);
+  ObsCliOptions obs;
+  if (!ResolveObsFlags(flags, out, &obs)) return 1;
   StreamConfig config;
   config.window = window;
   config.time_limit_ms = flags.GetDouble("limit_ms", 0);
+  config.obs = obs.obs.get();
+  config.stats_every = obs.stats_every;
+  config.stats_out = &out;
   const StreamResult res = RunStream(*ds, config, context.get());
   PrintStreamResult(engine->name(), res, out);
+  if (FinishObs(obs, /*json=*/false, out) != 0) return 1;
   return res.completed ? 0 : 3;
 }
 
@@ -458,7 +597,8 @@ int CmdReplay(const Args& args, std::ostream& out) {
     out << "usage: tcsm replay <stream.tel|-> <query-file>... [--window=w] "
            "[--threads=N] [--shards=N] [--max-events=N] [--limit_ms=T] "
            "[--engine=tcm|timing|symbi|local] [--print] [--canonical] "
-           "[--json]\n";
+           "[--json] [--metrics[=on|off]] [--stats-every=N] "
+           "[--trace-out=FILE]\n";
     return 2;
   }
   const std::string stream_path = flags.positional()[0];
@@ -588,11 +728,19 @@ int CmdReplay(const Args& args, std::ostream& out) {
         << " carries its own expiry schedule (expiry=explicit); "
            "--window is ignored\n";
   }
+  ObsCliOptions obs;
+  if (!ResolveObsFlags(flags, out, &obs)) return 1;
   ReplayOptions opts;
   opts.window = window_flag > 0 ? window_flag : hint;
   opts.time_limit_ms = flags.GetDouble("limit_ms", 0);
   opts.max_arrivals =
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("max-events", 0)));
+  opts.obs = obs.obs.get();
+  opts.stats_every = obs.stats_every;
+  // Under --json each stats tick is its own {"type":"stats",...} line
+  // ahead of the final summary line, so stdout stays line-parseable.
+  opts.stats_json = json;
+  opts.stats_out = &out;
   auto res = ReplayStream(&reader, opts, context.get());
   if (!res.ok()) {
     out << "error: " << res.status().ToString() << "\n";
@@ -607,10 +755,14 @@ int CmdReplay(const Args& args, std::ostream& out) {
         << ",\"occurred\":" << r.occurred << ",\"expired\":" << r.expired
         << ",\"elapsed_ms\":" << FormatDouble(r.elapsed_ms, 3)
         << ",\"peak_bytes\":" << r.peak_memory_bytes
+        << ",\"peak_event_index\":" << r.peak_memory_event_index
         << ",\"adj_scanned\":" << r.adj_entries_scanned
         << ",\"adj_matched\":" << r.adj_entries_matched
-        << ",\"completed\":" << (r.completed ? "true" : "false")
-        << ",\"queries\":[";
+        << ",\"completed\":" << (r.completed ? "true" : "false");
+    if (obs.obs != nullptr) {
+      out << ",\"stages\":" << StagesJson(obs.obs->Snapshot());
+    }
+    out << ",\"queries\":[";
     for (size_t i = 0; i < engines.size(); ++i) {
       const EngineCounters& c = engines[i]->counters();
       out << (i == 0 ? "" : ",") << "{\"file\":\""
@@ -629,6 +781,7 @@ int CmdReplay(const Args& args, std::ostream& out) {
       }
     }
   }
+  if (FinishObs(obs, json, out) != 0) return 1;
   return r.completed ? 0 : 3;
 }
 
@@ -639,6 +792,7 @@ int CmdSnapshot(const Args& args, std::ostream& out) {
            "[--directed] [--labels=file] [--limit_ms=T] [--print]\n";
     return 2;
   }
+  if (RejectObsFlags(flags, "snapshot", out)) return 2;
   const auto ds = LoadDataset(flags, flags.positional()[0], out);
   if (!ds) return 1;
   const auto q = LoadQuery(flags.positional()[1], out);

@@ -36,17 +36,29 @@ size_t HashSetBytes(const std::unordered_set<K, H, E, A>& s) {
          s.bucket_count() * sizeof(void*) + sizeof(s);
 }
 
-/// Tracks the peak of a recomputed estimate.
+/// Tracks the peak of a recomputed estimate, and *where* it happened:
+/// callers with a stream position pass it so a memory spike is
+/// attributable to an event index, not just a magnitude.
 class PeakMeter {
  public:
-  void Observe(size_t bytes) {
-    if (bytes > peak_) peak_ = bytes;
+  void Observe(size_t bytes, size_t event_index = 0) {
+    if (bytes > peak_) {
+      peak_ = bytes;
+      peak_at_ = event_index;
+    }
   }
   size_t peak_bytes() const { return peak_; }
-  void Reset() { peak_ = 0; }
+  /// Event index passed with the observation that set the current peak
+  /// (0 when the caller never supplied positions).
+  size_t peak_event_index() const { return peak_at_; }
+  void Reset() {
+    peak_ = 0;
+    peak_at_ = 0;
+  }
 
  private:
   size_t peak_ = 0;
+  size_t peak_at_ = 0;
 };
 
 /// Reads the process-wide resident-set peak (VmHWM) in bytes from

@@ -18,6 +18,7 @@
 #include "common/types.h"
 #include "core/embedding.h"
 #include "graph/temporal_edge.h"
+#include "obs/metrics.h"
 #include "query/query_graph.h"
 
 namespace tcsm {
@@ -132,7 +133,18 @@ class ContinuousEngine {
   void set_deadline(Deadline* deadline) { deadline_ = deadline; }
   const EngineCounters& counters() const { return counters_; }
 
+  /// Observability hook, installed by the owning SharedStreamContext when
+  /// a run carries an Observability bundle. Null (the default) keeps the
+  /// engine's hot phases free of any metrics work; engines that time
+  /// their phases (TcmEngine) feed stage_metrics_->engine_*_ns alongside
+  /// the EngineCounters nanosecond totals.
+  void set_stage_metrics(const StageMetrics* stages) {
+    stage_metrics_ = stages;
+  }
+
  protected:
+  const StageMetrics* stage_metrics_ = nullptr;
+
   void Report(const Embedding& embedding, MatchKind kind,
               uint64_t multiplicity) {
     (kind == MatchKind::kOccurred ? counters_.occurred : counters_.expired) +=

@@ -1,6 +1,7 @@
 #include "core/shared_context.h"
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace tcsm {
 
@@ -15,6 +16,7 @@ SharedStreamContext::SharedStreamContext(const GraphSchema& schema)
 void SharedStreamContext::Attach(ContinuousEngine* engine) {
   TCSM_CHECK(engine != nullptr);
   engine->set_deadline(deadline_);
+  engine->set_stage_metrics(stages_);
   engines_.push_back(engine);
 }
 
@@ -82,6 +84,15 @@ bool SharedStreamContext::overflowed() const {
 void SharedStreamContext::set_deadline(Deadline* deadline) {
   deadline_ = deadline;
   for (ContinuousEngine* engine : engines_) engine->set_deadline(deadline);
+}
+
+void SharedStreamContext::set_observability(Observability* obs) {
+  obs_ = obs;
+  stages_ = obs != nullptr ? &obs->stages() : nullptr;
+  trace_ = obs != nullptr ? obs->trace() : nullptr;
+  for (ContinuousEngine* engine : engines_) {
+    engine->set_stage_metrics(stages_);
+  }
 }
 
 EngineCounters SharedStreamContext::AggregateCounters() const {

@@ -24,6 +24,9 @@
 
 namespace tcsm {
 
+class Observability;
+class TraceWriter;
+
 class SharedStreamContext {
  public:
   explicit SharedStreamContext(const GraphSchema& schema);
@@ -77,6 +80,14 @@ class SharedStreamContext {
   /// engines attached later).
   void set_deadline(Deadline* deadline);
 
+  /// Installs (or clears, with null) the run's observability bundle:
+  /// caches the stage-metric handles and the optional trace writer for
+  /// the context's own instrumented seams and propagates the stage
+  /// metrics to every attached engine (including engines attached
+  /// later). The drivers call this once before the first event.
+  void set_observability(Observability* obs);
+  Observability* observability() const { return obs_; }
+
   /// Sum of the attached engines' counters.
   EngineCounters AggregateCounters() const;
 
@@ -112,10 +123,19 @@ class SharedStreamContext {
   TemporalEdge CaptureExpiry(const TemporalEdge& ed) const;
   void ApplyRemoval(EdgeId id) { g_.RemoveEdge(id); }
 
+  /// Cached observability handles for subclass seams; null when the run
+  /// carries no bundle (the default), in which case instrumented sites
+  /// must do nothing.
+  const StageMetrics* stage_metrics() const { return stages_; }
+  TraceWriter* trace_writer() const { return trace_; }
+
  private:
   TemporalGraph g_;
   std::vector<ContinuousEngine*> engines_;
   Deadline* deadline_ = nullptr;
+  Observability* obs_ = nullptr;
+  const StageMetrics* stages_ = nullptr;
+  TraceWriter* trace_ = nullptr;
 };
 
 /// Context owning a single engine — the shape of most call sites (CLI,

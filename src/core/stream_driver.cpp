@@ -3,6 +3,9 @@
 #include "common/logging.h"
 #include "common/memory_meter.h"
 #include "common/timer.h"
+#include "obs/observability.h"
+#include "obs/stage_timer.h"
+#include "obs/stats_reporter.h"
 
 namespace tcsm {
 
@@ -31,6 +34,18 @@ StreamResult RunStream(const TemporalDataset& dataset,
 
   Deadline deadline(config.time_limit_ms);
   context->set_deadline(config.time_limit_ms > 0 ? &deadline : nullptr);
+
+  // Observability: install the bundle on the context (which fans the
+  // stage-metric handles out to the engines) and cache the handles the
+  // driver's own sites use. All of `stages`/`trace` stay null when
+  // metrics are off, so each site below is one pointer test.
+  context->set_observability(config.obs);
+  const StageMetrics* const stages =
+      config.obs != nullptr ? &config.obs->stages() : nullptr;
+  TraceWriter* const trace =
+      config.obs != nullptr ? config.obs->trace() : nullptr;
+  StatsReporter reporter(config.obs, config.stats_every, config.stats_json,
+                         config.stats_out);
 
   // Adaptive cadence: ~32 samples across the ~2*arrivals events of a full
   // run. Compared against result.events — which counts arrivals AND
@@ -73,8 +88,17 @@ StreamResult RunStream(const TemporalDataset& dataset,
              dataset.edges[exp + batch].ts == t) {
         ++batch;
       }
-      context->OnEdgeExpiryBatch(&dataset.edges[exp], batch);
+      {
+        const ScopedStage span(
+            stages != nullptr ? stages->expiry_batch_ns : nullptr, trace,
+            "expiry_batch", "stream", "events", batch);
+        context->OnEdgeExpiryBatch(&dataset.edges[exp], batch);
+      }
       exp += batch;
+      if (stages != nullptr) {
+        stages->expirations->Add(batch);
+        stages->expiry_batches->Add(1);
+      }
     } else {
       TCSM_CHECK(have_arrival);
       const Timestamp t = dataset.edges[arr].ts;
@@ -82,22 +106,37 @@ StreamResult RunStream(const TemporalDataset& dataset,
              dataset.edges[arr + batch].ts == t) {
         ++batch;
       }
-      context->OnEdgeArrivalBatch(&dataset.edges[arr], batch);
+      {
+        const ScopedStage span(
+            stages != nullptr ? stages->arrival_batch_ns : nullptr, trace,
+            "arrival_batch", "stream", "events", batch);
+        context->OnEdgeArrivalBatch(&dataset.edges[arr], batch);
+      }
       arr += batch;
+      if (stages != nullptr) {
+        stages->arrivals->Add(batch);
+        stages->arrival_batches->Add(1);
+      }
       if (arr == arrivals) {
         // The window is at its fullest right after the last arrival —
         // from here on the graph only shrinks, so sample the high-water
         // point explicitly rather than hoping the cadence lands on it.
-        peak.Observe(context->EstimateMemoryBytes());
+        peak.Observe(context->EstimateMemoryBytes(), result.events + batch);
       }
     }
     const size_t before = result.events;
     result.events += batch;
+    if (stages != nullptr) {
+      stages->live_edges->Set(static_cast<int64_t>(arr - exp));
+    }
     if (result.events / sample_every != before / sample_every) {
-      peak.Observe(context->EstimateMemoryBytes());
+      peak.Observe(context->EstimateMemoryBytes(), result.events);
+    }
+    if (reporter.Due(result.events)) {
+      reporter.Tick(result.events, arr - exp, context->AggregateCounters());
     }
   }
-  peak.Observe(context->EstimateMemoryBytes());
+  peak.Observe(context->EstimateMemoryBytes(), result.events);
 
   result.elapsed_ms = watch.ElapsedMs();
   const EngineCounters now = context->AggregateCounters();
@@ -108,8 +147,26 @@ StreamResult RunStream(const TemporalDataset& dataset,
   result.adj_entries_matched =
       now.adj_entries_matched - base.adj_entries_matched;
   result.peak_memory_bytes = peak.peak_bytes();
+  result.peak_memory_event_index = peak.peak_event_index();
   result.num_threads = context->num_threads();
   result.num_shards = context->num_shards();
+  if (config.obs != nullptr) {
+    // Publish this run's deltas so a registry snapshot, --json, and
+    // BENCH JSON all read one source of truth.
+    EngineCounters delta;
+    delta.occurred = result.occurred;
+    delta.expired = result.expired;
+    delta.search_nodes = now.search_nodes - base.search_nodes;
+    delta.adj_entries_scanned = result.adj_entries_scanned;
+    delta.adj_entries_matched = result.adj_entries_matched;
+    config.obs->PublishEngineCounters(delta);
+    if (stages != nullptr) {
+      stages->peak_bytes->Set(static_cast<int64_t>(result.peak_memory_bytes));
+      stages->peak_event_index->Set(
+          static_cast<int64_t>(result.peak_memory_event_index));
+      stages->live_edges->Set(static_cast<int64_t>(arr - exp));
+    }
+  }
   context->set_deadline(nullptr);
   return result;
 }

@@ -9,12 +9,15 @@
 #define TCSM_CORE_STREAM_DRIVER_H_
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "common/status.h"
 #include "core/shared_context.h"
 #include "graph/temporal_dataset.h"
 
 namespace tcsm {
+
+class Observability;
 
 /// Micro-batch cap used when a driver's max_batch knob is 0. Large enough
 /// to amortize the per-event fan-out cost, small enough that drivers
@@ -40,6 +43,18 @@ struct StreamConfig {
   /// match stream is identical for every setting; the cap only bounds how
   /// long the driver goes between deadline/overflow checks.
   size_t max_batch = 0;
+  /// Observability bundle (obs/observability.h); null = metrics off, the
+  /// driver and context then skip every metrics/trace site (DESIGN.md
+  /// §11's no-op contract). The driver installs it on the context before
+  /// the first event and publishes the run's engine counter deltas into
+  /// the registry at the end.
+  Observability* obs = nullptr;
+  /// Emit one StatsReporter line to `stats_out` every `stats_every`
+  /// delivered events (0 = never; requires `obs`). `stats_json` selects
+  /// the JSON line form over the text form.
+  size_t stats_every = 0;
+  bool stats_json = false;
+  std::ostream* stats_out = nullptr;
 };
 
 struct StreamResult {
@@ -56,6 +71,9 @@ struct StreamResult {
   size_t events = 0;
   /// Peak of the context estimate: shared graph once + per-query state.
   size_t peak_memory_bytes = 0;
+  /// Event count (result.events at observation time) when the memory
+  /// peak was sampled, so a spike is attributable to a stream position.
+  size_t peak_memory_event_index = 0;
   /// Scan-selectivity totals over this run (see EngineCounters): adjacency
   /// entries visited vs. entries passing all static checks. The gap is the
   /// work the label-partitioned storage avoids.

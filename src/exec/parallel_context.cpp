@@ -1,5 +1,7 @@
 #include "exec/parallel_context.h"
 
+#include "obs/stage_timer.h"
+
 namespace tcsm {
 
 ParallelStreamContext::ParallelStreamContext(const GraphSchema& schema,
@@ -59,6 +61,13 @@ void ParallelStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
   batch_scratch_.clear();
   batch_scratch_.reserve(count);
   batch_scratch_.push_back(ApplyArrival(edges[0]));
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
+  // Step boundaries are only observable in the settle callback (the
+  // driver participates in the pipeline job itself), so a StepObserver
+  // closes each fan-out span there; the drain gets its own span.
+  StepObserver steps(stages != nullptr ? stages->pipeline_step_ns : nullptr,
+                     trace, "pipeline");
   try {
     // Step k fans edge k out to the engines; the inter-step settle drains
     // the buffers (attach order) and applies the NEXT arrival, so its
@@ -69,8 +78,15 @@ void ParallelStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
           attached[i]->OnEdgeInserted(batch_scratch_[k]);
         },
         [&](size_t k) {
-          DrainSinks();
+          steps.Step("insert_fanout", "edge", k);
+          {
+            const ScopedStage drain(
+                stages != nullptr ? stages->sink_drain_ns : nullptr, trace,
+                "drain", "pipeline");
+            DrainSinks();
+          }
           if (k + 1 < count) batch_scratch_.push_back(ApplyArrival(edges[k + 1]));
+          steps.Restart();
         });
   } catch (...) {
     for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
@@ -91,6 +107,10 @@ void ParallelStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
   batch_scratch_.clear();
   batch_scratch_.reserve(count);
   batch_scratch_.push_back(CaptureExpiry(edges[0]));
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
+  StepObserver steps(stages != nullptr ? stages->pipeline_step_ns : nullptr,
+                     trace, "pipeline");
   try {
     // Two pipeline steps per edge: even steps run the expiring phase
     // against the pre-deletion graph, whose settle drains and THEN
@@ -106,12 +126,20 @@ void ParallelStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
           }
         },
         [&](size_t k) {
-          DrainSinks();
+          steps.Step(k % 2 == 0 ? "expiring_fanout" : "removed_fanout",
+                     "edge", k / 2);
+          {
+            const ScopedStage drain(
+                stages != nullptr ? stages->sink_drain_ns : nullptr, trace,
+                "drain", "pipeline");
+            DrainSinks();
+          }
           if (k % 2 == 0) {
             ApplyRemoval(batch_scratch_[k / 2].id);
           } else if (k / 2 + 1 < count) {
             batch_scratch_.push_back(CaptureExpiry(edges[k / 2 + 1]));
           }
+          steps.Restart();
         });
   } catch (...) {
     for (const std::unique_ptr<BufferedMatchSink>& buffer : buffers_) {
@@ -126,8 +154,14 @@ void ParallelStreamContext::NotifyInserted(const TemporalEdge& ed) {
     SharedStreamContext::NotifyInserted(ed);
     return;
   }
+  const StageMetrics* const stages = stage_metrics();
   SyncSinks();
-  RunPhase(&ContinuousEngine::OnEdgeInserted, ed);
+  {
+    const ScopedStage span(
+        stages != nullptr ? stages->pipeline_step_ns : nullptr,
+        trace_writer(), "insert_fanout", "pipeline");
+    RunPhase(&ContinuousEngine::OnEdgeInserted, ed);
+  }
   DrainSinks();
 }
 
@@ -136,8 +170,14 @@ void ParallelStreamContext::NotifyExpiring(const TemporalEdge& ed) {
     SharedStreamContext::NotifyExpiring(ed);
     return;
   }
+  const StageMetrics* const stages = stage_metrics();
   SyncSinks();
-  RunPhase(&ContinuousEngine::OnEdgeExpiring, ed);
+  {
+    const ScopedStage span(
+        stages != nullptr ? stages->pipeline_step_ns : nullptr,
+        trace_writer(), "expiring_fanout", "pipeline");
+    RunPhase(&ContinuousEngine::OnEdgeExpiring, ed);
+  }
   // Draining here (before the context removes the edge) keeps even the
   // inter-phase sink timing identical to serial execution.
   DrainSinks();
@@ -148,7 +188,13 @@ void ParallelStreamContext::NotifyRemoved(const TemporalEdge& ed) {
     SharedStreamContext::NotifyRemoved(ed);
     return;
   }
-  RunPhase(&ContinuousEngine::OnEdgeRemoved, ed);
+  const StageMetrics* const stages = stage_metrics();
+  {
+    const ScopedStage span(
+        stages != nullptr ? stages->pipeline_step_ns : nullptr,
+        trace_writer(), "removed_fanout", "pipeline");
+    RunPhase(&ContinuousEngine::OnEdgeRemoved, ed);
+  }
   DrainSinks();
 }
 

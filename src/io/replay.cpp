@@ -5,6 +5,9 @@
 #include "common/logging.h"
 #include "common/memory_meter.h"
 #include "common/timer.h"
+#include "obs/observability.h"
+#include "obs/stage_timer.h"
+#include "obs/stats_reporter.h"
 
 namespace tcsm {
 
@@ -30,6 +33,13 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
   StreamResult result;
   Deadline deadline(options.time_limit_ms);
   context->set_deadline(options.time_limit_ms > 0 ? &deadline : nullptr);
+  context->set_observability(options.obs);
+  const StageMetrics* const stages =
+      options.obs != nullptr ? &options.obs->stages() : nullptr;
+  TraceWriter* const trace =
+      options.obs != nullptr ? options.obs->trace() : nullptr;
+  StatsReporter reporter(options.obs, options.stats_every, options.stats_json,
+                         options.stats_out);
   const size_t sample_every =
       options.memory_sample_every > 0 ? options.memory_sample_every : 64;
   const size_t max_batch =
@@ -83,7 +93,7 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
       // No more arrivals: the window is at its fullest right now, before
       // the remaining expirations shrink it. Sample the high-water point
       // explicitly rather than hoping the cadence lands on it.
-      peak.Observe(context->EstimateMemoryBytes());
+      peak.Observe(context->EstimateMemoryBytes(), result.events);
       high_water_sampled = true;
     }
     const bool have_arrival =
@@ -118,7 +128,16 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
           live.pop_front();
         }
       }
-      context->OnEdgeExpiryBatch(batch.data(), batch.size());
+      {
+        const ScopedStage span(
+            stages != nullptr ? stages->expiry_batch_ns : nullptr, trace,
+            "expiry_batch", "stream", "events", batch.size());
+        context->OnEdgeExpiryBatch(batch.data(), batch.size());
+      }
+      if (stages != nullptr) {
+        stages->expirations->Add(batch.size());
+        stages->expiry_batches->Add(1);
+      }
     } else if (have_arrival) {
       batch.clear();
       pending.edge.id = next_id++;
@@ -142,7 +161,16 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
         has_pending = false;
         ++arrivals;
       }
-      context->OnEdgeArrivalBatch(batch.data(), batch.size());
+      {
+        const ScopedStage span(
+            stages != nullptr ? stages->arrival_batch_ns : nullptr, trace,
+            "arrival_batch", "stream", "events", batch.size());
+        context->OnEdgeArrivalBatch(batch.data(), batch.size());
+      }
+      if (stages != nullptr) {
+        stages->arrivals->Add(batch.size());
+        stages->arrival_batches->Add(1);
+      }
       live.insert(live.end(), batch.begin(), batch.end());
       if (!s.ok()) break;
     } else {
@@ -150,14 +178,20 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
     }
     const size_t before = result.events;
     result.events += batch.size();
+    if (stages != nullptr) {
+      stages->live_edges->Set(static_cast<int64_t>(live.size()));
+    }
     if (result.events / sample_every != before / sample_every) {
-      peak.Observe(context->EstimateMemoryBytes());
+      peak.Observe(context->EstimateMemoryBytes(), result.events);
+    }
+    if (reporter.Due(result.events)) {
+      reporter.Tick(result.events, live.size(), context->AggregateCounters());
     }
     s = pull();
   }
   context->set_deadline(nullptr);
   if (!s.ok()) return s;
-  peak.Observe(context->EstimateMemoryBytes());
+  peak.Observe(context->EstimateMemoryBytes(), result.events);
 
   result.elapsed_ms = watch.ElapsedMs();
   const EngineCounters now = context->AggregateCounters();
@@ -168,8 +202,24 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
   result.adj_entries_matched =
       now.adj_entries_matched - base.adj_entries_matched;
   result.peak_memory_bytes = peak.peak_bytes();
+  result.peak_memory_event_index = peak.peak_event_index();
   result.num_threads = context->num_threads();
   result.num_shards = context->num_shards();
+  if (options.obs != nullptr) {
+    EngineCounters delta;
+    delta.occurred = result.occurred;
+    delta.expired = result.expired;
+    delta.search_nodes = now.search_nodes - base.search_nodes;
+    delta.adj_entries_scanned = result.adj_entries_scanned;
+    delta.adj_entries_matched = result.adj_entries_matched;
+    options.obs->PublishEngineCounters(delta);
+    if (stages != nullptr) {
+      stages->peak_bytes->Set(static_cast<int64_t>(result.peak_memory_bytes));
+      stages->peak_event_index->Set(
+          static_cast<int64_t>(result.peak_memory_event_index));
+      stages->live_edges->Set(static_cast<int64_t>(live.size()));
+    }
+  }
   return result;
 }
 

@@ -39,6 +39,12 @@ struct ReplayOptions {
   /// file carries its own schedule. The match stream is identical for
   /// every setting.
   size_t max_batch = 0;
+  /// Observability bundle + periodic stats, exactly as in StreamConfig
+  /// (core/stream_driver.h): null obs = metrics off = no-op sites.
+  Observability* obs = nullptr;
+  size_t stats_every = 0;
+  bool stats_json = false;
+  std::ostream* stats_out = nullptr;
 };
 
 /// Replays `reader` (already Init()ed by the caller, who needed its

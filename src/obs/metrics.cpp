@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tcsm {
+
+size_t ThisThreadMetricStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      stride_(bounds_.size() + 3),  // buckets + overflow + count + sum
+      cells_(stride_ * kMetricStripes) {
+  TCSM_CHECK(!bounds_.empty());
+  TCSM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(uint64_t v) {
+  // First bound >= v; past-the-end selects the overflow bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  const size_t stripe = ThisThreadMetricStripe();
+  const size_t base = stripe * stride_;
+  cells_[base + bucket].value.fetch_add(1, std::memory_order_relaxed);
+  cells_[base + bounds_.size() + 1].value.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  cells_[base + bounds_.size() + 2].value.fetch_add(v,
+                                                    std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  TCSM_DCHECK(bucket < num_buckets());
+  uint64_t total = 0;
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    total += cells_[CellIndex(s, bucket)].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    total += cells_[CellIndex(s, bounds_.size() + 1)].value.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalSum() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    total += cells_[CellIndex(s, bounds_.size() + 2)].value.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> ExponentialBounds(uint64_t start, double factor,
+                                        size_t count) {
+  TCSM_CHECK(start > 0 && factor > 1.0 && count > 0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double v = static_cast<double>(start);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t b = static_cast<uint64_t>(std::llround(v));
+    // Guard against rounding producing a duplicate boundary.
+    if (bounds.empty() || b > bounds.back()) bounds.push_back(b);
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<uint64_t>& LatencyBoundsNs() {
+  static const std::vector<uint64_t> bounds =
+      ExponentialBounds(250, 2.0, 26);  // 250ns .. ~8.4s
+  return bounds;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (b >= bounds.size()) {
+        // Overflow bucket: no upper bound, report its lower edge.
+        return static_cast<double>(bounds.back());
+      }
+      const double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      const double hi = static_cast<double>(bounds[b]);
+      const double frac =
+          (target - static_cast<double>(cumulative)) / in_bucket;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& prev) const {
+  TCSM_DCHECK(bounds == prev.bounds);
+  HistogramSnapshot d;
+  d.bounds = bounds;
+  d.buckets.resize(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    d.buckets[b] = buckets[b] - prev.buckets[b];
+  }
+  d.count = count - prev.count;
+  d.sum = sum - prev.sum;
+  return d;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name) {
+  for (const auto& named : counters_) {
+    if (named.name == name) return named.metric.get();
+  }
+  TCSM_CHECK(!frozen_);
+  counters_.push_back({std::move(name), std::make_unique<Counter>()});
+  return counters_.back().metric.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name) {
+  for (const auto& named : gauges_) {
+    if (named.name == name) return named.metric.get();
+  }
+  TCSM_CHECK(!frozen_);
+  gauges_.push_back({std::move(name), std::make_unique<Gauge>()});
+  return gauges_.back().metric.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name,
+                                         std::vector<uint64_t> bounds) {
+  for (const auto& named : histograms_) {
+    if (named.name == name) {
+      TCSM_CHECK(named.metric->bounds() == bounds);
+      return named.metric.get();
+    }
+  }
+  TCSM_CHECK(!frozen_);
+  histograms_.push_back(
+      {std::move(name), std::make_unique<Histogram>(std::move(bounds))});
+  return histograms_.back().metric.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& named : counters_) {
+    snap.counters.emplace_back(named.name, named.metric->Total());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& named : gauges_) {
+    snap.gauges.emplace_back(named.name, named.metric->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& named : histograms_) {
+    const Histogram& h = *named.metric;
+    HistogramSnapshot hs;
+    hs.bounds = h.bounds();
+    hs.buckets.resize(h.num_buckets());
+    for (size_t b = 0; b < h.num_buckets(); ++b) {
+      hs.buckets[b] = h.BucketCount(b);
+    }
+    hs.count = h.TotalCount();
+    hs.sum = h.TotalSum();
+    snap.histograms.emplace_back(named.name, std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace tcsm

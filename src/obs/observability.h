@@ -1,0 +1,78 @@
+// The Observability bundle: one MetricsRegistry carrying the whole
+// streaming metric taxonomy, the StageMetrics handle set handed to the
+// instrumented seams, and an optional TraceWriter (DESIGN.md §11).
+//
+// Metric names (all registered up front, registry frozen in the ctor):
+//   counters    stream.arrivals, stream.expirations,
+//               stream.arrival_batches, stream.expiry_batches,
+//               shard.summary_publishes
+//   gauges      stream.live_edges, stream.peak_bytes,
+//               stream.peak_event_index, engine.occurred, engine.expired,
+//               engine.search_nodes, engine.adj_scanned, engine.adj_matched
+//   histograms  stage.arrival_batch_ns, stage.expiry_batch_ns,
+//               stage.pipeline_step_ns, stage.sink_drain_ns,
+//               stage.shard_lane_ns, stage.engine_update_ns,
+//               stage.engine_search_ns
+//
+// The engine.* gauges are republished from the aggregated EngineCounters
+// (by the drivers at end-of-run and by every StatsReporter tick), so
+// --json, BENCH JSON, the stats line, and a registry snapshot all read
+// the same source of truth.
+#ifndef TCSM_OBS_OBSERVABILITY_H_
+#define TCSM_OBS_OBSERVABILITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tcsm {
+
+class Observability {
+ public:
+  Observability();
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  const StageMetrics& stages() const { return stages_; }
+
+  /// Null until EnableTrace(); instrumented seams treat null as "no
+  /// spans". Tracing is opt-in because Emit() locks and allocates.
+  TraceWriter* trace() const { return trace_.get(); }
+  void EnableTrace();
+
+  /// Republish the aggregated engine counters as engine.* gauges.
+  void PublishEngineCounters(const EngineCounters& agg);
+
+  MetricsSnapshot Snapshot() const { return registry_.Snapshot(); }
+  MetricsRegistry& registry() { return registry_; }
+
+ private:
+  MetricsRegistry registry_;
+  StageMetrics stages_;
+  Gauge* engine_occurred_;
+  Gauge* engine_expired_;
+  Gauge* engine_search_nodes_;
+  Gauge* engine_adj_scanned_;
+  Gauge* engine_adj_matched_;
+  std::unique_ptr<TraceWriter> trace_;
+};
+
+/// One row of the end-of-run per-stage summary (CLI text + JSON output).
+struct StageSummaryRow {
+  std::string stage;  // histogram name minus the "stage."/"_ns" affixes
+  uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Rows for every stage histogram with at least one observation.
+std::vector<StageSummaryRow> SummarizeStages(const MetricsSnapshot& snap);
+
+}  // namespace tcsm
+
+#endif  // TCSM_OBS_OBSERVABILITY_H_

@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <ostream>
+
+namespace tcsm {
+
+namespace {
+
+// Small sequential per-thread ids (0, 1, 2, ...) in first-use order, so
+// trace tracks read "thread-0", "thread-1" instead of opaque native ids.
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+void TraceWriter::Emit(const char* name, const char* cat, uint64_t start_ns,
+                       uint64_t dur_ns, const char* arg_key,
+                       uint64_t arg_value) {
+  const Span span{name, cat, start_ns, dur_ns, ThisThreadTraceId(), arg_key,
+                  arg_value};
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+size_t TraceWriter::NumSpans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceWriter::WriteJson(std::ostream& out) const {
+  std::vector<Span> spans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+  }
+  std::vector<uint32_t> tids;
+  for (const Span& s : spans) tids.push_back(s.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const uint32_t tid : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread-" << tid
+        << "\"}}";
+  }
+  char ts_buf[32];
+  for (const Span& s : spans) {
+    if (!first) out << ",";
+    first = false;
+    // Timestamps are integer nanoseconds; three decimals of microseconds
+    // round-trips them exactly.
+    out << "{\"name\":\"" << s.name << "\",\"cat\":\"" << s.cat
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid;
+    std::snprintf(ts_buf, sizeof(ts_buf), "%.3f", s.start_ns / 1000.0);
+    out << ",\"ts\":" << ts_buf;
+    std::snprintf(ts_buf, sizeof(ts_buf), "%.3f", s.dur_ns / 1000.0);
+    out << ",\"dur\":" << ts_buf;
+    if (s.arg_key != nullptr) {
+      out << ",\"args\":{\"" << s.arg_key << "\":" << s.arg_value << "}";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace tcsm

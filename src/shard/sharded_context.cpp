@@ -1,6 +1,7 @@
 #include "shard/sharded_context.h"
 
 #include "common/logging.h"
+#include "obs/stage_timer.h"
 
 namespace tcsm {
 
@@ -53,6 +54,10 @@ void ShardedStreamContext::ApplyShardArrival(size_t s,
   TCSM_CHECK(id == ed.id && "edge ids must be dense arrival indices");
   if (owns_src) summaries_.Publish(ed.src, g);
   if (owns_dst) summaries_.Publish(ed.dst, g);
+  if (const StageMetrics* const m = stage_metrics()) {
+    m->summary_publishes->Add(static_cast<uint64_t>(owns_src) +
+                              static_cast<uint64_t>(owns_dst));
+  }
 }
 
 void ShardedStreamContext::ApplyShardRemoval(size_t s,
@@ -64,6 +69,10 @@ void ShardedStreamContext::ApplyShardRemoval(size_t s,
   g.RemoveEdge(ed.id);
   if (owns_src) summaries_.Publish(ed.src, g);
   if (owns_dst) summaries_.Publish(ed.dst, g);
+  if (const StageMetrics* const m = stage_metrics()) {
+    m->summary_publishes->Add(static_cast<uint64_t>(owns_src) +
+                              static_cast<uint64_t>(owns_dst));
+  }
 }
 
 const TemporalEdge& ShardedStreamContext::CanonicalArrival(
@@ -113,22 +122,38 @@ void ShardedStreamContext::DiscardSinks() {
 void ShardedStreamContext::OnEdgeArrival(const TemporalEdge& ed) {
   // Inline path (unbatched events and the serial bypass): same order of
   // operations as one pipeline round, on the driver thread, with engines
-  // reporting straight to their sinks.
+  // reporting straight to their sinks. The engine-facing fan-out loops
+  // still emit the pipeline-step spans so a trace of a stream without
+  // coalescable batches shows the same phase structure.
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
   for (size_t s = 0; s < graphs_.size(); ++s) ApplyShardArrival(s, ed);
   const TemporalEdge& canonical = CanonicalArrival(ed);
+  const ScopedStage span(stages != nullptr ? stages->pipeline_step_ns : nullptr,
+                         trace, "insert_fanout", "pipeline");
   for (size_t s = 0; s < graphs_.size(); ++s) {
     NotifyShard(s, &ContinuousEngine::OnEdgeInserted, canonical);
   }
 }
 
 void ShardedStreamContext::OnEdgeExpiry(const TemporalEdge& ed) {
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
+  Histogram* const step_hist =
+      stages != nullptr ? stages->pipeline_step_ns : nullptr;
   const TemporalEdge applied = CaptureShardExpiry(ed);
-  for (size_t s = 0; s < graphs_.size(); ++s) {
-    NotifyShard(s, &ContinuousEngine::OnEdgeExpiring, applied);
+  {
+    const ScopedStage span(step_hist, trace, "expiring_fanout", "pipeline");
+    for (size_t s = 0; s < graphs_.size(); ++s) {
+      NotifyShard(s, &ContinuousEngine::OnEdgeExpiring, applied);
+    }
   }
   for (size_t s = 0; s < graphs_.size(); ++s) ApplyShardRemoval(s, applied);
-  for (size_t s = 0; s < graphs_.size(); ++s) {
-    NotifyShard(s, &ContinuousEngine::OnEdgeRemoved, applied);
+  {
+    const ScopedStage span(step_hist, trace, "removed_fanout", "pipeline");
+    for (size_t s = 0; s < graphs_.size(); ++s) {
+      NotifyShard(s, &ContinuousEngine::OnEdgeRemoved, applied);
+    }
   }
 }
 
@@ -142,6 +167,12 @@ void ShardedStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
   batch_scratch_.clear();
   batch_scratch_.reserve(count);
   const size_t shards = graphs_.size();
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
+  Histogram* const lane_hist =
+      stages != nullptr ? stages->shard_lane_ns : nullptr;
+  StepObserver steps(stages != nullptr ? stages->pipeline_step_ns : nullptr,
+                     trace, "pipeline");
   try {
     // Two steps per arrival. Even steps mutate: lane s inserts edge k
     // into shard s (if involved) and republishes the rows of its owned
@@ -154,18 +185,28 @@ void ShardedStreamContext::OnEdgeArrivalBatch(const TemporalEdge* edges,
         2 * count, shards,
         [&](size_t k, size_t s) {
           if (k % 2 == 0) {
+            const ScopedStage lane(lane_hist, trace, "lane_mutate", "shard",
+                                   "shard", s);
             ApplyShardArrival(s, edges[k / 2]);
           } else {
+            const ScopedStage lane(lane_hist, trace, "lane_notify", "shard",
+                                   "shard", s);
             NotifyShard(s, &ContinuousEngine::OnEdgeInserted,
                         batch_scratch_[k / 2]);
           }
         },
         [&](size_t k) {
+          steps.Step(k % 2 == 0 ? "mutate_step" : "notify_step", "edge",
+                     k / 2);
           if (k % 2 == 0) {
             batch_scratch_.push_back(CanonicalArrival(edges[k / 2]));
           } else {
+            const ScopedStage drain(
+                stages != nullptr ? stages->sink_drain_ns : nullptr, trace,
+                "drain", "pipeline");
             DrainSinks();
           }
+          steps.Restart();
         });
   } catch (...) {
     // A failed step poisons the event: completed engines must not have
@@ -186,6 +227,12 @@ void ShardedStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
   batch_scratch_.reserve(count);
   batch_scratch_.push_back(CaptureShardExpiry(edges[0]));
   const size_t shards = graphs_.size();
+  const StageMetrics* const stages = stage_metrics();
+  TraceWriter* const trace = trace_writer();
+  Histogram* const lane_hist =
+      stages != nullptr ? stages->shard_lane_ns : nullptr;
+  StepObserver steps(stages != nullptr ? stages->pipeline_step_ns : nullptr,
+                     trace, "pipeline");
   try {
     // Three steps per expiry: expiring notifications against the
     // pre-removal shards (settle drains — the pre-removal drain keeps
@@ -197,26 +244,55 @@ void ShardedStreamContext::OnEdgeExpiryBatch(const TemporalEdge* edges,
         [&](size_t k, size_t s) {
           const TemporalEdge& ed = batch_scratch_[k / 3];
           switch (k % 3) {
-            case 0:
+            case 0: {
+              const ScopedStage lane(lane_hist, trace, "lane_expiring",
+                                     "shard", "shard", s);
               NotifyShard(s, &ContinuousEngine::OnEdgeExpiring, ed);
               break;
-            case 1:
+            }
+            case 1: {
+              const ScopedStage lane(lane_hist, trace, "lane_remove", "shard",
+                                     "shard", s);
               ApplyShardRemoval(s, ed);
               break;
-            default:
+            }
+            default: {
+              const ScopedStage lane(lane_hist, trace, "lane_removed",
+                                     "shard", "shard", s);
               NotifyShard(s, &ContinuousEngine::OnEdgeRemoved, ed);
               break;
+            }
           }
         },
         [&](size_t k) {
+          switch (k % 3) {
+            case 0:
+              steps.Step("expiring_step", "edge", k / 3);
+              break;
+            case 1:
+              steps.Step("remove_step", "edge", k / 3);
+              break;
+            default:
+              steps.Step("removed_step", "edge", k / 3);
+              break;
+          }
           if (k % 3 == 0) {
+            const ScopedStage drain(
+                stages != nullptr ? stages->sink_drain_ns : nullptr, trace,
+                "drain", "pipeline");
             DrainSinks();
           } else if (k % 3 == 2) {
-            DrainSinks();
+            {
+              const ScopedStage drain(
+                  stages != nullptr ? stages->sink_drain_ns : nullptr, trace,
+                  "drain", "pipeline");
+              DrainSinks();
+            }
             if (k / 3 + 1 < count) {
               batch_scratch_.push_back(CaptureShardExpiry(edges[k / 3 + 1]));
             }
           }
+          steps.Restart();
         });
   } catch (...) {
     DiscardSinks();

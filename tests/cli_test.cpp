@@ -311,6 +311,100 @@ TEST(Cli, MainDispatch) {
 }
 
 
+TEST(Cli, ObservabilityFlags) {
+  const std::string tel = TmpPath("cli_obs.tel");
+  const std::string query = TmpPath("cli_obs.tq");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGen({"random", tel, "--vertices=40", "--edges=500",
+                    "--vlabels=2", "--seed=9", "--window=200"},
+                   out),
+            0);
+  ASSERT_EQ(CmdGenQuery({tel, query, "--size=3", "--density=1", "--seed=4",
+                         "--window=200"},
+                        out),
+            0);
+
+  // --stats-every emits periodic [stats] ticks and --metrics adds the
+  // per-stage summary table to the text report.
+  std::ostringstream stats;
+  ASSERT_EQ(CmdReplay({tel, query, "--stats-every=100"}, stats), 0)
+      << stats.str();
+  EXPECT_NE(stats.str().find("[stats] events="), std::string::npos)
+      << stats.str();
+  EXPECT_NE(stats.str().find(" ev_per_s="), std::string::npos);
+  EXPECT_NE(stats.str().find("arrival_batch"), std::string::npos)
+      << "per-stage summary table missing";
+
+  // The text report always carries the stream position of the memory
+  // peak next to the peak itself.
+  EXPECT_NE(stats.str().find(" peak_at="), std::string::npos);
+
+  // --trace-out writes a chrome-trace file: well-formed header, spans
+  // for the streaming stages, and a confirmation line naming the file.
+  const std::string trace = TmpPath("cli_obs_trace.json");
+  std::ostringstream traced;
+  ASSERT_EQ(CmdReplay({tel, query, "--shards=2", "--threads=2",
+                       "--trace-out=" + trace},
+                      traced),
+            0)
+      << traced.str();
+  EXPECT_NE(traced.str().find("wrote trace: "), std::string::npos);
+  std::ifstream tf(trace);
+  ASSERT_TRUE(tf.good()) << "trace file was not written";
+  std::stringstream buf;
+  buf << tf.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"arrival_batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  // --json with metrics on stays one pure JSON line (plus opt-in stats
+  // ticks) and reports the peak's event index and the stage summary.
+  std::ostringstream js;
+  ASSERT_EQ(CmdReplay({tel, query, "--json", "--metrics"}, js), 0)
+      << js.str();
+  EXPECT_EQ(js.str().rfind("{\"stream\":", 0), 0u) << js.str();
+  EXPECT_NE(js.str().find("\"peak_event_index\":"), std::string::npos);
+  EXPECT_NE(js.str().find("\"stages\":{"), std::string::npos);
+  std::ostringstream js2;
+  ASSERT_EQ(CmdReplay({tel, query, "--json", "--stats-every=100"}, js2), 0);
+  EXPECT_EQ(js2.str().rfind("{\"type\":\"stats\",", 0), 0u) << js2.str();
+  EXPECT_NE(js2.str().find("\n{\"stream\":"), std::string::npos);
+
+  // Contradictory and malformed flag combinations are named errors.
+  std::ostringstream contra;
+  EXPECT_EQ(CmdReplay({tel, query, "--metrics=off", "--stats-every=10"},
+                      contra),
+            1);
+  EXPECT_NE(contra.str().find("contradicts"), std::string::npos);
+  std::ostringstream badv;
+  EXPECT_EQ(CmdReplay({tel, query, "--metrics=sideways"}, badv), 1);
+  EXPECT_NE(badv.str().find("bad --metrics"), std::string::npos);
+
+  // Non-streaming subcommands reject the observability flags instead of
+  // silently ignoring them.
+  std::ostringstream rej;
+  EXPECT_EQ(CmdStats({tel, "--metrics"}, rej), 2);
+  EXPECT_NE(rej.str().find("only applies to streaming subcommands"),
+            std::string::npos)
+      << rej.str();
+  std::ostringstream rej2;
+  EXPECT_EQ(CmdGenQuery({tel, query, "--size=3", "--window=200",
+                         "--trace-out=x.json"},
+                        rej2),
+            2);
+  EXPECT_NE(rej2.str().find("not 'gen-query'"), std::string::npos);
+  std::ostringstream rej3;
+  EXPECT_EQ(CmdSnapshot({tel, query, "--stats-every=5"}, rej3), 2);
+  EXPECT_NE(rej3.str().find("not 'snapshot'"), std::string::npos);
+
+  std::remove(tel.c_str());
+  std::remove(query.c_str());
+  std::remove(trace.c_str());
+}
+
 TEST(Cli, CanonicalFlagReported) {
   const std::string edges = TmpPath("cli_canon.edges");
   const std::string query = TmpPath("cli_canon.query");

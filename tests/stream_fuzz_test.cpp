@@ -25,6 +25,7 @@
 #include "core/stream_driver.h"
 #include "core/tcm_engine.h"
 #include "datasets/synthetic.h"
+#include "obs/observability.h"
 #include "querygen/query_generator.h"
 #include "shard/sharded_multi_engine.h"
 #include "testlib/fuzz_scenarios.h"
@@ -443,6 +444,94 @@ TEST_P(StreamFuzz, BatchedMatchesUnbatchedDelivery) {
           << "per-query stream of query " << qi
           << " diverged under batched delivery";
     }
+  }
+}
+
+// Observability differential: running with a metrics registry attached
+// (no tracing — DESIGN.md §11's zero-perturbation contract) must emit
+// byte-identical per-query match streams, and the registry's event
+// accounting must reconcile exactly with the StreamResult totals —
+// through the parallel fan-out at 1 and 4 threads and the sharded
+// context at 2 and 4 shards.
+TEST_P(StreamFuzz, MetricsDoNotPerturbMatching) {
+  std::vector<QueryGraph> queries{query_};
+  for (uint64_t k = 1; k <= 3; ++k) {
+    QueryGraph variant;
+    Rng rng(GetParam().seed ^ (0x517cc1b727220a95ull * k));
+    if (GenerateQuery(dataset_, GetParam().query, &rng, &variant)) {
+      queries.push_back(variant);
+    } else {
+      queries.push_back(queries[k - 1]);
+    }
+  }
+
+  struct TaggedStreams : MultiMatchSink {
+    explicit TaggedStreams(size_t n) : streams(n) {}
+    std::vector<std::vector<std::pair<Embedding, MatchKind>>> streams;
+    void OnMatch(size_t query_index, const Embedding& embedding,
+                 MatchKind kind, uint64_t multiplicity) override {
+      ASSERT_LT(query_index, streams.size());
+      for (uint64_t i = 0; i < multiplicity; ++i) {
+        streams[query_index].emplace_back(embedding, kind);
+      }
+    }
+  };
+
+  StreamConfig plain;
+  plain.window = GetParam().window;
+
+  TaggedStreams reference(queries.size());
+  {
+    MultiQueryEngine engine(queries, schema_);
+    engine.set_multi_sink(&reference);
+    const StreamResult res = RunStream(dataset_, plain, &engine);
+    ASSERT_TRUE(res.completed);
+  }
+
+  const auto check = [&](const StreamResult& res, const TaggedStreams& run,
+                         const Observability& obs) {
+    ASSERT_TRUE(res.completed);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(run.streams[qi], reference.streams[qi])
+          << "per-query stream of query " << qi << " diverged with metrics on";
+    }
+    const MetricsSnapshot snap = obs.Snapshot();
+    EXPECT_EQ(snap.CounterValue("stream.arrivals") +
+                  snap.CounterValue("stream.expirations"),
+              res.events)
+        << "per-stage event counters do not reconcile with the result";
+    EXPECT_EQ(snap.GaugeValue("engine.occurred"),
+              static_cast<int64_t>(res.occurred));
+    EXPECT_EQ(snap.GaugeValue("engine.expired"),
+              static_cast<int64_t>(res.expired));
+    EXPECT_EQ(snap.GaugeValue("stream.peak_event_index"),
+              static_cast<int64_t>(res.peak_memory_event_index));
+    EXPECT_LE(res.peak_memory_event_index, res.events);
+  };
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    Observability obs;
+    StreamConfig config = plain;
+    config.obs = &obs;
+    TaggedStreams run(queries.size());
+    MultiQueryEngine engine(queries, schema_, TcmConfig{}, threads);
+    engine.set_multi_sink(&run);
+    const StreamResult res = RunStream(dataset_, config, &engine);
+    check(res, run, obs);
+  }
+
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    Observability obs;
+    StreamConfig config = plain;
+    config.obs = &obs;
+    TaggedStreams run(queries.size());
+    ShardedMultiQueryEngine engine(queries, schema_, shards, TcmConfig{},
+                                   /*num_threads=*/4);
+    engine.set_multi_sink(&run);
+    const StreamResult res = RunStream(dataset_, config, &engine);
+    check(res, run, obs);
   }
 }
 

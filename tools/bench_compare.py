@@ -58,6 +58,7 @@ METRIC_FIELDS = {
     "peak_memory_mb",
     "peak_memory_bytes",
     "peak_bytes",
+    "peak_event_index",
     "update_ms",
     "search_ms",
     "adj_entries_scanned",
