@@ -1,0 +1,145 @@
+// Ingest parse throughput: StreamReader pull loop over the same synthetic
+// stream serialized in each `.tel` framing — text, binary v2 with varint
+// delta timestamps, binary v2 with fixed-width records. No engine is
+// attached: the loop measures the parser alone (the stage the binary
+// framing exists to accelerate; docs/FILE_FORMATS.md §binary-v2).
+//
+// The `speedup` field (binary vs text events/sec at the same scale) is
+// the acceptance metric: >= 3x for either binary encoding on the default
+// preset. `events_per_sec` and `mbytes_per_sec` feed the perf-regression
+// gate (tools/bench_compare.py against bench/baselines/). Record counts
+// are cross-checked across framings on the fly: a framing that parses
+// fast by dropping records fails the run.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench_json.h"
+#include "bench_util/experiment.h"
+#include "datasets/synthetic.h"
+#include "io/stream_reader.h"
+#include "io/stream_writer.h"
+
+using namespace tcsm;
+
+namespace {
+
+struct Framing {
+  const char* name;
+  bool binary;
+  bool varint;
+};
+
+/// Best-of-`iters` wall time for one full pull of `tel`, in seconds.
+/// Returns the per-iteration record count through *records.
+double ParseSeconds(const std::string& tel, const char* name, size_t iters,
+                    uint64_t* records) {
+  double best = 0.0;
+  for (size_t it = 0; it < iters; ++it) {
+    std::istringstream in(tel);
+    StreamReader reader(in, name);
+    Status s = reader.Init();
+    if (!s.ok()) {
+      std::cerr << "ERROR: " << s.ToString() << "\n";
+      std::exit(1);
+    }
+    uint64_t n = 0;
+    const auto start = std::chrono::steady_clock::now();
+    StreamRecord rec;
+    bool done = false;
+    while (true) {
+      s = reader.Next(&rec, &done);
+      if (!s.ok()) {
+        std::cerr << "ERROR: " << s.ToString() << "\n";
+        std::exit(1);
+      }
+      if (done) break;
+      ++n;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (it == 0 || secs < best) best = secs;
+    *records = n;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+
+  SyntheticSpec spec;
+  spec.name = "io_throughput";
+  spec.num_vertices =
+      std::max<size_t>(64, static_cast<size_t>(5000 * args.scale));
+  spec.num_edges =
+      std::max<size_t>(1000, static_cast<size_t>(200000 * args.scale));
+  spec.num_vertex_labels = 4;
+  spec.num_edge_labels = 4;
+  spec.avg_parallel_edges = 2.0;
+  spec.seed = args.seed;
+  const TemporalDataset ds = GenerateSynthetic(spec);
+  const Timestamp window =
+      std::max<Timestamp>(1, static_cast<Timestamp>(ds.NumEdges() / 10));
+
+  const Framing framings[] = {
+      {"text", false, false},
+      {"binary_varint", true, true},
+      {"binary_fixed", true, false},
+  };
+
+  std::cout << "=== Ingest parse throughput: text vs binary v2 (|E|="
+            << ds.NumEdges() << ", window=" << window << ") ===\n";
+
+  const size_t kIters = 5;
+  double text_eps = 0.0;
+  uint64_t reference_records = 0;
+  for (const Framing& f : framings) {
+    TelWriteOptions opts;
+    opts.window = window;
+    opts.binary = f.binary;
+    opts.varint_timestamps = f.varint;
+    std::ostringstream out;
+    const Status s = WriteTel(ds, opts, out);
+    if (!s.ok()) {
+      std::cerr << "ERROR: " << s.ToString() << "\n";
+      return 1;
+    }
+    const std::string tel = out.str();
+
+    uint64_t records = 0;
+    const double secs = ParseSeconds(tel, f.name, kIters, &records);
+    if (reference_records == 0) {
+      reference_records = records;
+    } else if (records != reference_records) {
+      std::cerr << "ERROR: record counts diverged (" << f.name << " parsed "
+                << records << ", text parsed " << reference_records << ")\n";
+      return 1;
+    }
+    const double eps = secs > 0 ? static_cast<double>(records) / secs : 0.0;
+    const double mbps =
+        secs > 0 ? static_cast<double>(tel.size()) / secs / (1024.0 * 1024.0)
+                 : 0.0;
+    if (!f.binary) text_eps = eps;
+    const double speedup = !f.binary || text_eps <= 0 ? 1.0 : eps / text_eps;
+    BenchJsonLine line("io_throughput");
+    line.Field("format", f.name)
+        .Field("events", records)
+        .Field("stream_bytes", static_cast<uint64_t>(tel.size()))
+        .Field("elapsed_ms", secs * 1000.0)
+        .Field("events_per_sec", eps)
+        .Field("mbytes_per_sec", mbps)
+        .Field("speedup", speedup);
+    line.Print(std::cout);
+    std::cout << f.name << ": " << secs * 1000.0 << " ms, "
+              << static_cast<uint64_t>(eps) << " events/sec"
+              << (f.binary ? " (" + std::to_string(speedup) + "x text)"
+                           : std::string())
+              << "\n";
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "datasets/presets.h"
 #include "datasets/synthetic.h"
 #include "graph/graph_io.h"
+#include "io/flight_recorder.h"
 #include "io/replay.h"
 #include "io/stream_reader.h"
 #include "io/stream_writer.h"
@@ -357,6 +358,53 @@ int FinishObs(const ObsCliOptions& o, bool json, std::ostream& out) {
   return 0;
 }
 
+/// Parses the `.tel` framing flags shared by gen and convert:
+/// --format=text|binary (default = `default_binary`), --varint[=on|off]
+/// (binary only), --block-records=N (binary only). Returns false after
+/// printing an error.
+bool ResolveTelFormatFlags(const FlagSet& flags, bool default_binary,
+                           TelWriteOptions* opts, std::ostream& out) {
+  const std::string format = flags.GetString("format");
+  if (format.empty() && !flags.Has("format")) {
+    opts->binary = default_binary;
+  } else if (format == "binary") {
+    opts->binary = true;
+  } else if (format == "text") {
+    opts->binary = false;
+  } else {
+    out << "error: bad --format (expected 'text' or 'binary')\n";
+    return false;
+  }
+  if (flags.Has("varint")) {
+    const std::string v = flags.GetString("varint");
+    if (v.empty() || v == "on") {
+      opts->varint_timestamps = true;
+    } else if (v == "off") {
+      opts->varint_timestamps = false;
+    } else {
+      out << "error: bad --varint (expected 'on' or 'off')\n";
+      return false;
+    }
+    if (!opts->binary) {
+      out << "error: --varint only applies to --format=binary\n";
+      return false;
+    }
+  }
+  if (flags.Has("block-records")) {
+    const int64_t n = flags.GetInt("block-records", 0);
+    if (n <= 0) {
+      out << "error: --block-records must be > 0\n";
+      return false;
+    }
+    if (!opts->binary) {
+      out << "error: --block-records only applies to --format=binary\n";
+      return false;
+    }
+    opts->block_records = static_cast<size_t>(n);
+  }
+  return true;
+}
+
 /// The "stages" object of the replay --json line: per-stage count and
 /// latency quantiles from the registry snapshot.
 std::string StagesJson(const MetricsSnapshot& snap) {
@@ -394,9 +442,10 @@ int CmdGen(const Args& args, std::ostream& out) {
   const FlagSet flags(args);
   if (flags.positional().empty() || flags.positional().size() > 2) {
     out << "usage: tcsm gen <preset|random> [<out.tel>|-] [--scale=S] "
-           "[--seed=K] [--window=D] [--expiry=explicit] [--vertices=N "
-           "--edges=M --vlabels=a --elabels=b --parallel=p --coalesce=c "
-           "--directed]\n"
+           "[--seed=K] [--window=D] [--expiry=explicit] "
+           "[--format=text|binary] [--varint=on|off] [--block-records=N] "
+           "[--vertices=N --edges=M --vlabels=a --elabels=b --parallel=p "
+           "--coalesce=c --directed]\n"
            "   presets: ";
     for (const auto& p : PresetNames()) out << p << " ";
     out << "\n";
@@ -407,6 +456,9 @@ int CmdGen(const Args& args, std::ostream& out) {
   if (!ds) return 1;
 
   TelWriteOptions opts;
+  if (!ResolveTelFormatFlags(flags, /*default_binary=*/false, &opts, out)) {
+    return 1;
+  }
   opts.window = flags.GetInt("window", 0);
   const std::string expiry = flags.GetString("expiry", "derived");
   if (expiry == "explicit") {
@@ -433,6 +485,88 @@ int CmdGen(const Args& args, std::ostream& out) {
   if (!s.ok()) {
     out << "error: " << s.ToString() << "\n";
     return 1;
+  }
+  return 0;
+}
+
+int CmdConvert(const Args& args, std::ostream& out) {
+  const FlagSet flags(args);
+  if (flags.positional().size() != 2) {
+    out << "usage: tcsm convert <in.tel|-> <out.tel|-> "
+           "[--format=binary|text] [--varint=on|off] [--block-records=N]\n"
+           "   default --format is the opposite framing of the input\n";
+    return 2;
+  }
+  if (RejectObsFlags(flags, "convert", out)) return 2;
+  const std::string in_path = flags.positional()[0];
+  const std::string out_path = flags.positional()[1];
+  std::ifstream in_file;
+  std::istream* in = &std::cin;
+  if (in_path != "-") {
+    in_file.open(in_path, std::ios::binary);
+    if (!in_file) {
+      out << "error: cannot open " << in_path << "\n";
+      return 1;
+    }
+    in = &in_file;
+  }
+  StreamReader reader(*in, in_path == "-" ? "<stdin>" : in_path);
+  Status s = reader.Init();
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  if (!reader.has_vertex_universe()) {
+    out << "error: " << reader.source()
+        << ": convert needs the vertex universe declared up front "
+           "(vertices=N in the header, or v records)\n";
+    return 1;
+  }
+  TelWriteOptions opts;
+  if (!ResolveTelFormatFlags(flags, /*default_binary=*/!reader.binary(),
+                             &opts, out)) {
+    return 1;
+  }
+  // The header carries over wholesale: convert changes the framing, never
+  // the stream it frames.
+  opts.window = reader.header().window;
+  opts.explicit_expiry = reader.header().explicit_expiry;
+
+  std::ofstream out_file;
+  std::ostream* sink = &out;
+  if (out_path != "-") {
+    out_file.open(out_path, std::ios::binary);
+    if (!out_file) {
+      out << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    sink = &out_file;
+  }
+  StreamWriter writer(*sink);
+  s = writer.BeginStream(reader.header().directed, reader.vertex_labels(),
+                         opts);
+  uint64_t records = 0;
+  while (s.ok()) {
+    StreamRecord rec;
+    bool done = false;
+    s = reader.Next(&rec, &done);
+    if (!s.ok() || done) break;
+    ++records;
+    s = rec.kind == StreamRecord::Kind::kArrival
+            ? writer.RecordArrival(rec.edge)
+            : writer.RecordExpiry(rec.edge.ts);
+  }
+  if (s.ok()) s = writer.Finish();
+  if (!s.ok()) {
+    out << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  if (out_path != "-") {
+    // Stdout output gets no summary: `convert - -` sits in pipelines and
+    // its stdout is the stream itself.
+    out << "converted " << records << " records ("
+        << (reader.binary() ? "binary" : "text") << " -> "
+        << (opts.binary ? "binary" : "text") << ") to " << out_path << "\n";
   }
   return 0;
 }
@@ -597,15 +731,16 @@ int CmdReplay(const Args& args, std::ostream& out) {
     out << "usage: tcsm replay <stream.tel|-> <query-file>... [--window=w] "
            "[--threads=N] [--shards=N] [--max-events=N] [--limit_ms=T] "
            "[--engine=tcm|timing|symbi|local] [--print] [--canonical] "
-           "[--json] [--metrics[=on|off]] [--stats-every=N] "
-           "[--trace-out=FILE]\n";
+           "[--json] [--seek-ts=T] [--flight-record=N --flight-dump=FILE "
+           "[--flight-format=text|binary]] [--metrics[=on|off]] "
+           "[--stats-every=N] [--trace-out=FILE]\n";
     return 2;
   }
   const std::string stream_path = flags.positional()[0];
   std::ifstream file;
   std::istream* in = &std::cin;
   if (stream_path != "-") {
-    file.open(stream_path);
+    file.open(stream_path, std::ios::binary);
     if (!file) {
       out << "error: cannot open " << stream_path << "\n";
       return 1;
@@ -623,6 +758,16 @@ int CmdReplay(const Args& args, std::ostream& out) {
         << ": streaming replay needs the vertex universe declared up "
            "front (vertices=N in the header, or v records)\n";
     return 1;
+  }
+  if (flags.Has("seek-ts")) {
+    // O(1) reposition off the binary index footer: replay then delivers
+    // exactly the suffix of the full replay's event schedule (matches
+    // included, once the window has refilled past the gap).
+    s = reader.SeekToTimestamp(flags.GetInt("seek-ts", 0));
+    if (!s.ok()) {
+      out << "error: " << s.ToString() << "\n";
+      return 1;
+    }
   }
 
   std::vector<QueryGraph> queries;
@@ -732,6 +877,52 @@ int CmdReplay(const Args& args, std::ostream& out) {
   if (!ResolveObsFlags(flags, out, &obs)) return 1;
   ReplayOptions opts;
   opts.window = window_flag > 0 ? window_flag : hint;
+
+  // Flight recorder: retain the last N arrivals in memory and dump them
+  // as a replayable .tel on exit — including the error exit, where the
+  // dump is the reproducer.
+  const int64_t flight_cap = flags.GetInt("flight-record", 0);
+  const std::string flight_path = flags.GetString("flight-dump");
+  if ((flight_cap > 0) != !flight_path.empty()) {
+    out << "error: --flight-record=N and --flight-dump=FILE go together\n";
+    return 1;
+  }
+  if (flags.Has("flight-record") && flight_cap <= 0) {
+    out << "error: --flight-record must be > 0\n";
+    return 1;
+  }
+  const std::string flight_format = flags.GetString("flight-format", "text");
+  if (flight_format != "text" && flight_format != "binary") {
+    out << "error: bad --flight-format (expected 'text' or 'binary')\n";
+    return 1;
+  }
+  if (flags.Has("flight-format") && flight_cap <= 0) {
+    out << "error: --flight-format requires --flight-record/--flight-dump\n";
+    return 1;
+  }
+  std::unique_ptr<FlightRecorder> recorder;
+  if (flight_cap > 0) {
+    const Timestamp flight_window =
+        opts.window > 0 ? opts.window : reader.header().window;
+    recorder = std::make_unique<FlightRecorder>(
+        reader.schema(), flight_window, static_cast<size_t>(flight_cap));
+    opts.recorder = recorder.get();
+  }
+  const auto dump_flight = [&]() -> bool {
+    if (recorder == nullptr) return true;
+    const Status ds =
+        recorder->DumpTelFile(flight_path, flight_format == "binary");
+    if (!ds.ok()) {
+      out << "error: " << ds.ToString() << "\n";
+      return false;
+    }
+    if (!json) {
+      out << "flight recorder: dumped " << recorder->size() << " of "
+          << recorder->total_recorded() << " arrivals to " << flight_path
+          << "\n";
+    }
+    return true;
+  };
   opts.time_limit_ms = flags.GetDouble("limit_ms", 0);
   opts.max_arrivals =
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt("max-events", 0)));
@@ -744,6 +935,7 @@ int CmdReplay(const Args& args, std::ostream& out) {
   auto res = ReplayStream(&reader, opts, context.get());
   if (!res.ok()) {
     out << "error: " << res.status().ToString() << "\n";
+    dump_flight();  // the retained window is the reproducer
     return 1;
   }
   const StreamResult& r = res.value();
@@ -781,6 +973,7 @@ int CmdReplay(const Args& args, std::ostream& out) {
       }
     }
   }
+  if (!dump_flight()) return 1;
   if (FinishObs(obs, json, out) != 0) return 1;
   return r.completed ? 0 : 3;
 }
@@ -821,6 +1014,7 @@ int Main(int argc, char** argv, std::ostream& out, std::ostream& err) {
            "subcommands:\n"
            "  stats      dataset characteristics\n"
            "  gen        synthesize a stream as a .tel file (or stdout)\n"
+           "  convert    re-frame a .tel stream (text <-> binary v2)\n"
            "  gen-data   synthesize a legacy edge list (+ .labels)\n"
            "  gen-query  extract a temporal query by random walk\n"
            "  run        continuous matching over an in-memory stream\n"
@@ -834,6 +1028,7 @@ int Main(int argc, char** argv, std::ostream& out, std::ostream& err) {
   for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
   if (cmd == "stats") return CmdStats(rest, out);
   if (cmd == "gen") return CmdGen(rest, out);
+  if (cmd == "convert") return CmdConvert(rest, out);
   if (cmd == "gen-data") return CmdGenData(rest, out);
   if (cmd == "gen-query") return CmdGenQuery(rest, out);
   if (cmd == "run") return CmdRun(rest, out);

@@ -29,6 +29,14 @@ int CmdStats(const Args& args, std::ostream& out);
 /// (stdout with `-`, the default — `tcsm gen` pipes into `tcsm replay -`).
 int CmdGen(const Args& args, std::ostream& out);
 
+/// tcsm convert <in.tel|-> <out.tel|-> [--format=binary|text]
+///   [--varint=on|off] [--block-records=N]
+/// Re-frames a `.tel` stream between the text and binary v2 framings
+/// without touching its contents: header, labels, and every record carry
+/// over, so a converted stream replays match-identically. The default
+/// --format is the opposite of the input's framing.
+int CmdConvert(const Args& args, std::ostream& out);
+
 /// tcsm gen-data <preset|random> <out-file> [--scale=S] [--seed=K]
 ///   [--vertices=N --edges=M --vlabels=a --elabels=b --parallel=p
 ///    --directed]
@@ -51,12 +59,18 @@ int CmdRun(const Args& args, std::ostream& out);
 
 /// tcsm replay <stream.tel|-> <query-file>... [--window=w] [--threads=N]
 ///   [--max-events=N] [--limit_ms=T] [--engine=tcm|timing|symbi|local]
-///   [--print] [--canonical] [--json]
+///   [--print] [--canonical] [--json] [--seek-ts=T]
+///   [--flight-record=N --flight-dump=FILE [--flight-format=text|binary]]
 /// File-driven continuous matching: pulls the stream incrementally off
 /// disk (or stdin with `-`) in O(window) memory — the stream is never
 /// loaded — and fans events out to one engine per query file across
 /// --threads workers. Match-stream output is byte-identical to `run` on
 /// the same data (tests/io_roundtrip_test.cpp enforces this).
+/// --seek-ts=T starts at the first binary-v2 block covering timestamp T
+/// (O(1) via the index footer); --flight-record keeps the last N arrivals
+/// in a ring and dumps them to --flight-dump as a replayable `.tel` at
+/// exit — error exits included, turning a mid-replay failure into a
+/// reproducer.
 int CmdReplay(const Args& args, std::ostream& out);
 
 /// tcsm snapshot <dataset> <query-file> [--window=w] [--directed]

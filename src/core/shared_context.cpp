@@ -21,8 +21,10 @@ void SharedStreamContext::Attach(ContinuousEngine* engine) {
 }
 
 const TemporalEdge& SharedStreamContext::ApplyArrival(const TemporalEdge& ed) {
-  const EdgeId id = g_.InsertEdge(ed.src, ed.dst, ed.ts, ed.label);
-  TCSM_CHECK(id == ed.id && "edge ids must be dense arrival indices");
+  // The driver assigns dense arrival indices; honoring them (rather than
+  // recounting) keeps EdgeId-keyed state identical to a full replay even
+  // when a seeked replay starts mid-stream at a non-zero first id.
+  const EdgeId id = g_.InsertEdgeAs(ed.id, ed.src, ed.dst, ed.ts, ed.label);
   return g_.Edge(id);
 }
 

@@ -147,6 +147,14 @@ EdgeId TemporalGraph::InsertEdgeAs(EdgeId id, VertexId src, VertexId dst,
   TCSM_CHECK(id != kInvalidEdge && "edge-id space exhausted");
   TCSM_CHECK(id >= next_id_ && "caller-assigned ids must be ascending");
   DrainPendingFrees();
+  if (ring_.empty()) {
+    // Nothing alive and nothing pending: skip straight to `id` instead of
+    // materializing one hole per skipped id. This is what makes a seeked
+    // replay (io/stream_reader.h SeekToTimestamp), whose first arrival id
+    // is the count of skipped arrivals, O(1) rather than O(skipped).
+    base_id_ = id;
+    next_id_ = id;
+  }
   // Ids skipped over become holes: ring entries that were never backed by
   // a slot, indistinguishable from already-reclaimed ids to every reader.
   while (next_id_ < id) {

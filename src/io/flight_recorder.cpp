@@ -1,0 +1,46 @@
+#include "io/flight_recorder.h"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/logging.h"
+#include "io/stream_writer.h"
+
+namespace tcsm {
+
+FlightRecorder::FlightRecorder(GraphSchema schema, Timestamp window,
+                               size_t capacity)
+    : schema_(std::move(schema)), window_(window), ring_(capacity) {
+  TCSM_CHECK(capacity > 0);
+}
+
+Status FlightRecorder::DumpTel(std::ostream& out, bool binary) const {
+  StreamWriter writer(out);
+  TelWriteOptions options;
+  options.window = window_;
+  options.binary = binary;
+  Status s = writer.BeginStream(schema_.directed, schema_.vertex_labels,
+                                options);
+  if (!s.ok()) return s;
+  const size_t n = size();
+  // Oldest retained arrival: once the ring has wrapped, the write cursor
+  // (total_ % capacity) points at the record about to be overwritten —
+  // which is exactly the oldest one still held.
+  const size_t start =
+      total_ > ring_.size() ? static_cast<size_t>(total_ % ring_.size()) : 0;
+  for (size_t i = 0; i < n; ++i) {
+    s = writer.RecordArrival(ring_[(start + i) % ring_.size()]);
+    if (!s.ok()) return s;
+  }
+  return writer.Finish();
+}
+
+Status FlightRecorder::DumpTelFile(const std::string& path,
+                                   bool binary) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  return DumpTel(out, binary);
+}
+
+}  // namespace tcsm

@@ -1,0 +1,62 @@
+// In-memory flight recorder: a fixed-capacity ring over the replay write
+// path retaining the last N arrivals of traffic, dumpable as a replayable
+// `.tel` stream (text or binary v2) on demand or when a run dies — so a
+// production incident turns into a fuzz case instead of a shrug.
+//
+// Only arrivals are retained: a dump re-derives expirations from the
+// window at replay time, which keeps it valid however the ring's window
+// slid (an expiry-record ring could orphan x records whose arrivals were
+// already overwritten). Record() is O(1), allocation-free after
+// construction, and called from the stream driver thread only.
+#ifndef TCSM_IO_FLIGHT_RECORDER_H_
+#define TCSM_IO_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "graph/temporal_edge.h"
+
+namespace tcsm {
+
+class FlightRecorder {
+ public:
+  /// `schema` and `window` become the dump's header (directedness,
+  /// vertex labels, window=D); `capacity` is the ring size in arrivals
+  /// and must be > 0.
+  FlightRecorder(GraphSchema schema, Timestamp window, size_t capacity);
+
+  /// Retains `edge`, overwriting the oldest retained arrival when full.
+  void Record(const TemporalEdge& edge) {
+    ring_[total_ % ring_.size()] = edge;
+    ++total_;
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  /// Arrivals currently retained (<= capacity).
+  size_t size() const {
+    return total_ < ring_.size() ? static_cast<size_t>(total_)
+                                 : ring_.size();
+  }
+  /// Arrivals ever recorded; total_recorded() - size() were overwritten.
+  uint64_t total_recorded() const { return total_; }
+
+  /// Writes the retained window, oldest first, as a derived-expiry `.tel`
+  /// stream that replays standalone (header carries schema + window).
+  Status DumpTel(std::ostream& out, bool binary) const;
+  Status DumpTelFile(const std::string& path, bool binary) const;
+
+ private:
+  GraphSchema schema_;
+  Timestamp window_;
+  std::vector<TemporalEdge> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_IO_FLIGHT_RECORDER_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/memory_meter.h"
 #include "common/timer.h"
+#include "io/flight_recorder.h"
 #include "obs/observability.h"
 #include "obs/stage_timer.h"
 #include "obs/stats_reporter.h"
@@ -36,6 +37,7 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
   context->set_observability(options.obs);
   const StageMetrics* const stages =
       options.obs != nullptr ? &options.obs->stages() : nullptr;
+  reader->set_stage_metrics(stages);
   TraceWriter* const trace =
       options.obs != nullptr ? options.obs->trace() : nullptr;
   StatsReporter reporter(options.obs, options.stats_every, options.stats_json,
@@ -56,7 +58,9 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
   bool stopped = false;    // no further reads (EOF or arrival cap)
   bool truncated = false;  // stopped by the cap, not by the file ending
   size_t arrivals = 0;
-  EdgeId next_id = 0;
+  // After SeekToTimestamp the index supplies the count of skipped
+  // arrivals, so ids in the suffix match the full replay's exactly.
+  EdgeId next_id = static_cast<EdgeId>(reader->first_arrival_index());
 
   const auto pull = [&]() -> Status {
     if (has_pending || stopped) return Status::Ok();
@@ -160,6 +164,9 @@ StatusOr<StreamResult> ReplayStream(StreamReader* reader,
         batch.push_back(pending.edge);
         has_pending = false;
         ++arrivals;
+      }
+      if (options.recorder != nullptr) {
+        for (const TemporalEdge& e : batch) options.recorder->Record(e);
       }
       {
         const ScopedStage span(

@@ -17,6 +17,8 @@
 
 namespace tcsm {
 
+class FlightRecorder;  // io/flight_recorder.h
+
 struct ReplayOptions {
   /// Expiry window for derived-expiry streams. 0 = take the header's
   /// window; a stream with neither is an InvalidArgument error. Ignored
@@ -45,6 +47,10 @@ struct ReplayOptions {
   size_t stats_every = 0;
   bool stats_json = false;
   std::ostream* stats_out = nullptr;
+  /// Optional flight recorder (io/flight_recorder.h): every delivered
+  /// arrival is recorded before it reaches the context, so a dump taken
+  /// after a mid-replay failure still holds the event that triggered it.
+  FlightRecorder* recorder = nullptr;
 };
 
 /// Replays `reader` (already Init()ed by the caller, who needed its

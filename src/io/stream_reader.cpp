@@ -1,10 +1,13 @@
 #include "io/stream_reader.h"
 
+#include <chrono>
 #include <fstream>
 #include <istream>
 #include <sstream>
 
 #include "graph/graph_io.h"
+#include "io/tel_binary.h"
+#include "obs/metrics.h"
 
 namespace tcsm {
 
@@ -42,6 +45,8 @@ constexpr int64_t kMaxLabel =
 StreamReader::StreamReader(std::istream& in, std::string source)
     : in_(in), source_(std::move(source)) {}
 
+StreamReader::~StreamReader() = default;
+
 Status StreamReader::Fail(const std::string& what) const {
   return Status::CorruptInput(source_ + ":" + std::to_string(lineno_) +
                               ": " + what);
@@ -51,6 +56,7 @@ bool StreamReader::NextSignificantLine(std::string* body) {
   std::string line;
   while (std::getline(in_, line)) {
     ++lineno_;
+    bytes_consumed_ += line.size() + 1;  // + the consumed newline
     if (Significant(&line)) {
       *body = std::move(line);
       return true;
@@ -126,6 +132,18 @@ Status StreamReader::ParseHeader(const std::string& body) {
 Status StreamReader::Init() {
   TCSM_CHECK(!init_done_);
   init_done_ = true;
+  // Framing sniff: 0x89 can never begin a text .tel line, so one peeked
+  // byte decides, and the byte is not consumed either way.
+  if (in_.peek() == kTelBinaryMagic[0]) {
+    binary_ = std::make_unique<BinaryTelReader>(in_, source_);
+    if (stages_ != nullptr) binary_->set_parse_histogram(stages_->parse_ns);
+    const Status s = binary_->Init();
+    if (!s.ok()) return s;
+    header_ = binary_->header();
+    vertex_labels_ = binary_->vertex_labels();
+    has_universe_ = true;
+    return Status::Ok();
+  }
   std::string body;
   if (!NextSignificantLine(&body)) {
     return Fail("missing tel header (empty stream)");
@@ -179,8 +197,70 @@ GraphSchema StreamReader::schema() const {
   return GraphSchema{header_.directed, vertex_labels_};
 }
 
+void StreamReader::set_stage_metrics(const StageMetrics* stages) {
+  stages_ = stages;
+  if (binary_ != nullptr) {
+    binary_->set_parse_histogram(stages != nullptr ? stages->parse_ns
+                                                   : nullptr);
+  }
+}
+
+void StreamReader::FlushIngestMetrics(uint64_t records) {
+  if (records > 0 && stages_->ingest_records != nullptr) {
+    stages_->ingest_records->Add(records);
+  }
+  if (stages_->ingest_bytes != nullptr) {
+    const uint64_t consumed =
+        binary_ != nullptr ? binary_->bytes_consumed() : bytes_consumed_;
+    if (consumed > bytes_reported_) {
+      stages_->ingest_bytes->Add(consumed - bytes_reported_);
+      bytes_reported_ = consumed;
+    }
+  }
+}
+
+uint64_t StreamReader::first_arrival_index() const {
+  return binary_ != nullptr ? binary_->first_arrival_index() : 0;
+}
+
+Status StreamReader::SeekToTimestamp(Timestamp t) {
+  TCSM_CHECK(init_done_);
+  if (binary_ == nullptr) {
+    return Status::InvalidArgument(
+        source_ +
+        ": seek requires a binary .tel stream (the text format has no "
+        "block index; `tcsm convert` produces one)");
+  }
+  const Status s = binary_->SeekToTimestamp(t);
+  // Skipped bytes were never ingested; resync the metrics base.
+  if (s.ok()) bytes_reported_ = binary_->bytes_consumed();
+  return s;
+}
+
 Status StreamReader::Next(StreamRecord* record, bool* done) {
   TCSM_CHECK(init_done_);
+  if (binary_ != nullptr) {
+    const Status s = binary_->Next(record, done);
+    if (s.ok() && stages_ != nullptr) FlushIngestMetrics(*done ? 0 : 1);
+    return s;
+  }
+  // Text framing: per-record parse latency (the binary reader observes
+  // per block load instead — see set_stage_metrics).
+  const bool timed = stages_ != nullptr && stages_->parse_ns != nullptr;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  const Status s = NextText(record, done);
+  if (timed) {
+    stages_->parse_ns->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  if (s.ok() && stages_ != nullptr) FlushIngestMetrics(*done ? 0 : 1);
+  return s;
+}
+
+Status StreamReader::NextText(StreamRecord* record, bool* done) {
   *done = false;
   std::string body;
   while (true) {
@@ -317,14 +397,15 @@ StatusOr<TemporalDataset> ReadTelDataset(std::istream& in,
 
 StatusOr<TemporalDataset> LoadTelFile(const std::string& path,
                                       TelHeader* header_out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   return ReadTelDataset(in, path, header_out);
 }
 
 bool SniffTelFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return false;
+  if (in.peek() == kTelBinaryMagic[0]) return true;  // binary v2
   std::string line;
   while (std::getline(in, line)) {
     if (!Significant(&line)) continue;

@@ -3,9 +3,13 @@
 #include <fstream>
 #include <ostream>
 
+#include "io/tel_binary.h"
+
 namespace tcsm {
 
 StreamWriter::StreamWriter(std::ostream& out) : out_(out) {}
+
+StreamWriter::~StreamWriter() = default;
 
 Status StreamWriter::BeginStream(bool directed,
                                  const std::vector<Label>& vertex_labels,
@@ -19,6 +23,20 @@ Status StreamWriter::BeginStream(bool directed,
   }
   if (options.window > kMaxTelTimestamp) {
     return Status::InvalidArgument("window too large (must stay below 2^61)");
+  }
+  if (options.binary) {
+    auto binary = std::make_unique<BinaryTelWriter>(out_);
+    const Status s = binary->Begin(directed, vertex_labels, options.window,
+                                   options.explicit_expiry,
+                                   options.varint_timestamps,
+                                   options.block_records,
+                                   options.all_vertex_labels);
+    if (!s.ok()) return s;
+    binary_ = std::move(binary);
+    begun_ = true;
+    explicit_expiry_ = options.explicit_expiry;
+    num_vertices_ = vertex_labels.size();
+    return Status::Ok();
   }
   begun_ = true;
   explicit_expiry_ = options.explicit_expiry;
@@ -55,9 +73,13 @@ Status StreamWriter::RecordArrival(const TemporalEdge& edge) {
         "arrival timestamps must be non-decreasing");
   }
   last_ts_ = edge.ts;
-  out_ << "e " << edge.src << ' ' << edge.dst << ' ' << edge.ts;
-  if (edge.label != 0) out_ << ' ' << edge.label;
-  out_ << '\n';
+  if (binary_ != nullptr) {
+    binary_->AddArrival(edge);
+  } else {
+    out_ << "e " << edge.src << ' ' << edge.dst << ' ' << edge.ts;
+    if (edge.label != 0) out_ << ' ' << edge.label;
+    out_ << '\n';
+  }
   ++arrivals_;
   return Status::Ok();
 }
@@ -83,12 +105,17 @@ Status StreamWriter::RecordExpiry(Timestamp ts) {
         "expiry timestamps must be non-decreasing");
   }
   last_ts_ = ts;
-  out_ << "x " << ts << '\n';
+  if (binary_ != nullptr) {
+    binary_->AddExpiry(ts);
+  } else {
+    out_ << "x " << ts << '\n';
+  }
   ++expiries_;
   return Status::Ok();
 }
 
 Status StreamWriter::Finish() {
+  if (binary_ != nullptr) return binary_->Finish();
   out_.flush();
   if (!out_) return Status::InvalidArgument("stream write failed");
   return Status::Ok();
@@ -131,7 +158,7 @@ Status WriteTel(const TemporalDataset& dataset,
 
 Status SaveTelFile(const TemporalDataset& dataset,
                    const TelWriteOptions& options, const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) return Status::InvalidArgument("cannot write " + path);
   return WriteTel(dataset, options, out);
 }

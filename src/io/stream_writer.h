@@ -7,7 +7,9 @@
 #ifndef TCSM_IO_STREAM_WRITER_H_
 #define TCSM_IO_STREAM_WRITER_H_
 
+#include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "io/tel_format.h"
 
 namespace tcsm {
+
+class BinaryTelWriter;  // io/tel_binary.h
 
 struct TelWriteOptions {
   /// Recorded into the header as `window=D` when > 0 (the replay default).
@@ -29,12 +33,22 @@ struct TelWriteOptions {
   /// Write a `v` record for every vertex rather than only those with a
   /// non-zero label (label 0 is the format's default).
   bool all_vertex_labels = false;
+  /// Emit the binary v2 framing (io/tel_binary.h, docs/FILE_FORMATS.md
+  /// §binary-v2) instead of text. Requires a non-empty vertex universe
+  /// and an ostream opened in binary mode.
+  bool binary = false;
+  /// Binary only: varint records with delta-encoded timestamps (the
+  /// default) vs fixed 24-byte records.
+  bool varint_timestamps = true;
+  /// Binary only: records per block; 0 = kDefaultTelBlockRecords.
+  size_t block_records = 0;
 };
 
 class StreamWriter {
  public:
   /// Writes to `out`, which must outlive the writer.
   explicit StreamWriter(std::ostream& out);
+  ~StreamWriter();
 
   /// Emits the header and the vertex-label prefix. Must be called once,
   /// before any record.
@@ -58,6 +72,9 @@ class StreamWriter {
 
  private:
   std::ostream& out_;
+  /// Non-null after BeginStream with options.binary: all validation stays
+  /// here (shared with the text path), encoding is delegated.
+  std::unique_ptr<BinaryTelWriter> binary_;
   bool begun_ = false;
   bool explicit_expiry_ = false;
   size_t num_vertices_ = 0;

@@ -1,0 +1,221 @@
+// Binary `.tel` v2 framing: block-framed records behind the same
+// StreamReader/StreamWriter surface as the text format. The normative
+// wire specification is docs/FILE_FORMATS.md §binary-v2; this header
+// mirrors it. All integers are little-endian.
+//
+//   magic(8) header(24) labels  block... sentinel(u32 0) index trailer(24)
+//
+// Each block carries up to `block_records` records in one of two
+// encodings: fixed 24-byte records (decoded with four unaligned loads),
+// or varint records with delta-encoded timestamps (the default — dense
+// timestamps compress to a couple of bytes per record). The index maps
+// every block to {file offset, first/last timestamp, record count,
+// cumulative arrival index}, and the 24-byte trailer at EOF points at it,
+// so a seekable reader reaches any timestamp in O(1) file reads
+// (`tcsm replay --seek-ts=T`). Sequential readers (pipes) stop at the
+// zero sentinel and never need the index.
+//
+// The reader pulls a whole block payload into a reusable buffer with one
+// istream read and decodes records by pointer arithmetic — no per-record
+// istream round-trips or allocation, which is where the ≥3× parse
+// throughput over the text format comes from (bench_io_throughput).
+// Every diagnostic is a Status carrying "<source>:<byte-offset>: <what>";
+// malformed input never aborts.
+#ifndef TCSM_IO_TEL_BINARY_H_
+#define TCSM_IO_TEL_BINARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/temporal_edge.h"
+#include "io/tel_format.h"
+
+namespace tcsm {
+
+class Histogram;  // obs/metrics.h; null handle = metrics off
+
+/// First bytes of a binary v2 stream. The leading 0x89 (as in PNG) can
+/// never begin a text `.tel` line, so one peeked byte decides the
+/// framing; the 0x0D,0x0A,0x1A tail catches newline-mangling transports.
+inline constexpr unsigned char kTelBinaryMagic[8] = {0x89, 'T',  'E',  'L',
+                                                     '2',  0x0D, 0x0A, 0x1A};
+/// Last 8 bytes of the trailer ('X' for "index"), so a tail read can
+/// recognize a well-formed footer before trusting its offsets.
+inline constexpr unsigned char kTelBinaryFooterMagic[8] = {
+    0x89, 'T', 'E', 'L', 'X', 0x0D, 0x0A, 0x1A};
+
+inline constexpr uint16_t kTelBinaryVersion = 2;
+
+// Header flag bits; readers reject unknown bits (as the text reader
+// rejects unknown header keys), so v2 files cannot be silently misread.
+inline constexpr uint16_t kTelBinaryFlagDirected = 1u << 0;
+inline constexpr uint16_t kTelBinaryFlagExplicitExpiry = 1u << 1;
+
+// Record kinds (mirrors StreamRecord::Kind).
+inline constexpr uint8_t kTelRecordArrival = 0;
+inline constexpr uint8_t kTelRecordExpiry = 1;
+
+// Block encodings.
+inline constexpr uint32_t kTelBlockFixed = 0;
+inline constexpr uint32_t kTelBlockVarint = 1;
+
+inline constexpr size_t kTelBinaryHeaderBytes = 24;  // after the magic
+inline constexpr size_t kTelBlockHeaderBytes = 32;
+inline constexpr size_t kTelFixedRecordBytes = 24;
+inline constexpr size_t kTelIndexEntryBytes = 40;
+inline constexpr size_t kTelTrailerBytes = 24;
+inline constexpr size_t kDefaultTelBlockRecords = 4096;
+
+/// Hostile-input allocation cap: a block payload larger than this is
+/// corrupt framing, not a big block (4096 fixed records are ~96 KiB).
+inline constexpr uint32_t kMaxTelBlockPayloadBytes = 1u << 24;
+
+/// Writer-side ceiling on records per block, chosen so even worst-case
+/// varint records (26 bytes) stay under kMaxTelBlockPayloadBytes. A
+/// larger block-records request is silently clamped here.
+inline constexpr size_t kMaxTelBlockRecords = kMaxTelBlockPayloadBytes / 32;
+
+/// One row of the block index (40 bytes on the wire).
+struct TelBlockIndexEntry {
+  uint64_t offset = 0;  ///< Block header's offset from the file start.
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+  uint32_t record_count = 0;
+  uint32_t encoding = 0;
+  /// Arrivals recorded before this block — what lets a seeked replay
+  /// assign the same dense EdgeIds the full replay would have.
+  uint64_t first_arrival_index = 0;
+};
+
+/// Block-building serializer. StreamWriter owns all record validation
+/// (monotone timestamps, vertex ranges, expiry discipline) and hands this
+/// class only records that already passed, so Add* cannot fail; stream
+/// write errors surface once, at Finish() (same contract as the text
+/// path). Works on non-seekable sinks: offsets are counted, not told.
+class BinaryTelWriter {
+ public:
+  explicit BinaryTelWriter(std::ostream& out);
+
+  /// Emits magic, header, and the vertex-label section. `labels` is the
+  /// declared universe and must be non-empty — a binary stream always
+  /// declares its universe (there is no v-record-less variant).
+  Status Begin(bool directed, const std::vector<Label>& labels,
+               Timestamp window, bool explicit_expiry, bool varint,
+               size_t block_records, bool all_vertex_labels);
+
+  void AddArrival(const TemporalEdge& edge);
+  void AddExpiry(Timestamp ts);
+
+  /// Flushes the tail block, writes the zero sentinel, the index, and
+  /// the trailer; reports any stream write failure.
+  Status Finish();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void AppendRecord(uint8_t kind, const TemporalEdge& edge);
+  void FlushBlock();
+  void Write(const void* p, size_t n);
+
+  std::ostream& out_;
+  bool varint_ = true;
+  size_t block_records_ = kDefaultTelBlockRecords;
+  uint64_t bytes_written_ = 0;
+  uint64_t arrivals_total_ = 0;
+  std::vector<uint8_t> payload_;
+  uint32_t block_count_ = 0;
+  Timestamp block_first_ts_ = 0;
+  Timestamp block_last_ts_ = 0;
+  Timestamp prev_ts_ = 0;
+  uint64_t block_first_arrival_ = 0;
+  std::vector<TelBlockIndexEntry> index_;
+};
+
+/// Block-buffered deserializer. One istream read per block into a
+/// reusable buffer; Next() decodes records out of it with pointer
+/// arithmetic. Validates everything the text reader validates (monotone
+/// timestamps, ranges, expiry discipline, self-loop drop) plus the block
+/// framing itself, with byte-offset diagnostics.
+class BinaryTelReader {
+ public:
+  /// `in` must outlive the reader and should be opened in binary mode.
+  BinaryTelReader(std::istream& in, std::string source);
+
+  /// Reads magic, header, and labels. Must be called once, before Next().
+  Status Init();
+
+  const TelHeader& header() const { return header_; }
+  const std::vector<Label>& vertex_labels() const { return vertex_labels_; }
+
+  /// Same contract as StreamReader::Next. A clean stream ends at the zero
+  /// sentinel; EOF before it is a truncated-stream error, so a cut-off
+  /// capture can never silently pass for a complete one.
+  Status Next(StreamRecord* record, bool* done);
+
+  /// Positions the reader at the first block whose last_ts >= t, using
+  /// the index footer (O(1) file reads). Requires a seekable stream, a
+  /// derived-expiry stream (explicit x records reference the live-edge
+  /// FIFO from the stream's start and cannot be resumed mid-file), and
+  /// must be called before the first Next().
+  Status SeekToTimestamp(Timestamp t);
+
+  /// Arrival index of the next arrival Next() will return — 0 unless
+  /// SeekToTimestamp() skipped blocks. The replay driver starts its
+  /// EdgeId assignment here so a seeked replay's match lines are
+  /// byte-identical to the full replay's suffix.
+  uint64_t first_arrival_index() const { return first_arrival_index_; }
+
+  /// Total bytes pulled off the stream so far (io.ingest_bytes).
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+  /// Per-block load+frame latency histogram (stage.parse_ns); null = off.
+  void set_parse_histogram(Histogram* h) { parse_ns_ = h; }
+
+ private:
+  Status Fail(uint64_t offset, const std::string& what) const;
+  /// Reads exactly n bytes into buf, counting them; a short read fails
+  /// with `what` at the read's starting offset.
+  Status ReadExact(void* buf, size_t n, const char* what);
+  /// Reads the next block header + payload into payload_. Sets *end on
+  /// the zero sentinel.
+  Status LoadNextBlock(bool* end);
+  Status DecodeVarint(const uint8_t* end, const uint8_t** p, uint64_t* v,
+                      uint64_t record_offset);
+
+  std::istream& in_;
+  std::string source_;
+  TelHeader header_;
+  std::vector<Label> vertex_labels_;
+  Histogram* parse_ns_ = nullptr;
+  bool init_done_ = false;
+  bool consumed_any_ = false;
+  uint64_t bytes_consumed_ = 0;
+
+  // Current block (decode state).
+  std::vector<uint8_t> payload_;
+  size_t cursor_ = 0;
+  uint32_t block_remaining_ = 0;
+  uint32_t block_encoding_ = kTelBlockFixed;
+  Timestamp block_first_ts_ = 0;
+  Timestamp block_last_ts_ = 0;
+  Timestamp prev_ts_ = 0;        // varint delta base
+  uint64_t payload_offset_ = 0;  // file offset of payload_[0]
+
+  // Stream-level validation state.
+  Timestamp last_ts_ = kMinusInfinity;
+  uint64_t arrivals_ = 0;
+  uint64_t expiries_ = 0;
+  uint64_t first_arrival_index_ = 0;
+  /// Set by SeekToTimestamp: the next LoadNextBlock cross-checks the
+  /// block header against this index entry (catches stale footers).
+  TelBlockIndexEntry pending_check_;
+  bool has_pending_check_ = false;
+};
+
+}  // namespace tcsm
+
+#endif  // TCSM_IO_TEL_BINARY_H_

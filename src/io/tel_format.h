@@ -13,6 +13,10 @@
 // e.ts + delta, expirations before arrivals on ties — Example II.2) or
 // records them explicitly with `x` lines; the header's `expiry=` key
 // selects the mode for the whole stream.
+// A `.tel` stream also has a binary v2 framing (same records, block-framed
+// with an index footer for O(1) seek) — see io/tel_binary.h and the
+// normative §binary-v2 spec in docs/FILE_FORMATS.md. Readers sniff the
+// framing by the first byte: text v1 never starts with 0x89.
 #ifndef TCSM_IO_TEL_FORMAT_H_
 #define TCSM_IO_TEL_FORMAT_H_
 
@@ -20,6 +24,7 @@
 #include <limits>
 
 #include "common/types.h"
+#include "graph/temporal_edge.h"
 
 namespace tcsm {
 
@@ -51,6 +56,16 @@ struct TelHeader {
   /// True for `expiry=explicit` streams: expirations are `x` records in
   /// the file rather than derived from a window at replay time.
   bool explicit_expiry = false;
+};
+
+/// One data record of a `.tel` stream (either framing).
+struct StreamRecord {
+  enum class Kind { kArrival, kExpiry };
+  Kind kind = Kind::kArrival;
+  /// For arrivals: src/dst/ts/label as parsed (id is assigned by the
+  /// replay driver in arrival order). For explicit expirations only `ts`
+  /// is meaningful — the oldest live edge is the one that expires.
+  TemporalEdge edge;
 };
 
 }  // namespace tcsm

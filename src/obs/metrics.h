@@ -180,11 +180,18 @@ struct StageMetrics {
   Counter* arrival_batches = nullptr;
   Counter* expiry_batches = nullptr;
   Counter* summary_publishes = nullptr;
+  // Ingest accounting (counters): records returned by / bytes consumed
+  // from the StreamReader, either framing. Reconciles against
+  // StreamResult.events (ingest_records ≥ arrivals + derived expirations'
+  // arrivals; text streams also count dropped self loops).
+  Counter* ingest_records = nullptr;
+  Counter* ingest_bytes = nullptr;
   // Stream position gauges.
   Gauge* live_edges = nullptr;
   Gauge* peak_bytes = nullptr;
   Gauge* peak_event_index = nullptr;
   // Stage latency histograms (nanoseconds).
+  Histogram* parse_ns = nullptr;
   Histogram* arrival_batch_ns = nullptr;
   Histogram* expiry_batch_ns = nullptr;
   Histogram* pipeline_step_ns = nullptr;

@@ -10,6 +10,8 @@ Observability::Observability() {
   stages_.arrival_batches = registry_.AddCounter("stream.arrival_batches");
   stages_.expiry_batches = registry_.AddCounter("stream.expiry_batches");
   stages_.summary_publishes = registry_.AddCounter("shard.summary_publishes");
+  stages_.ingest_records = registry_.AddCounter("io.ingest_records");
+  stages_.ingest_bytes = registry_.AddCounter("io.ingest_bytes");
 
   stages_.live_edges = registry_.AddGauge("stream.live_edges");
   stages_.peak_bytes = registry_.AddGauge("stream.peak_bytes");
@@ -21,6 +23,7 @@ Observability::Observability() {
   engine_adj_matched_ = registry_.AddGauge("engine.adj_matched");
 
   const std::vector<uint64_t>& bounds = LatencyBoundsNs();
+  stages_.parse_ns = registry_.AddHistogram("stage.parse_ns", bounds);
   stages_.arrival_batch_ns =
       registry_.AddHistogram("stage.arrival_batch_ns", bounds);
   stages_.expiry_batch_ns =

@@ -5,14 +5,19 @@
 // Metric names (all registered up front, registry frozen in the ctor):
 //   counters    stream.arrivals, stream.expirations,
 //               stream.arrival_batches, stream.expiry_batches,
-//               shard.summary_publishes
+//               shard.summary_publishes, io.ingest_records,
+//               io.ingest_bytes
 //   gauges      stream.live_edges, stream.peak_bytes,
 //               stream.peak_event_index, engine.occurred, engine.expired,
 //               engine.search_nodes, engine.adj_scanned, engine.adj_matched
-//   histograms  stage.arrival_batch_ns, stage.expiry_batch_ns,
-//               stage.pipeline_step_ns, stage.sink_drain_ns,
-//               stage.shard_lane_ns, stage.engine_update_ns,
-//               stage.engine_search_ns
+//   histograms  stage.parse_ns, stage.arrival_batch_ns,
+//               stage.expiry_batch_ns, stage.pipeline_step_ns,
+//               stage.sink_drain_ns, stage.shard_lane_ns,
+//               stage.engine_update_ns, stage.engine_search_ns
+//
+// io.ingest_records / io.ingest_bytes count records returned by and bytes
+// consumed from the StreamReader feeding a replay; stage.parse_ns times
+// record parsing (per record for text framing, per block load for binary).
 //
 // The engine.* gauges are republished from the aggregated EngineCounters
 // (by the drivers at end-of-run and by every StatsReporter tick), so

@@ -252,6 +252,160 @@ TEST(Cli, GenTelAndReplay) {
   std::remove(query2.c_str());
 }
 
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string MatchLines(const std::string& s) {
+  std::string lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && (line[0] == '+' || line[0] == '-')) {
+      lines += line + "\n";
+    }
+  }
+  return lines;
+}
+
+TEST(Cli, ConvertAndBinaryReplay) {
+  const std::string text_tel = TmpPath("cli_cv.tel");
+  const std::string bin_tel = TmpPath("cli_cv_bin.tel");
+  const std::string cv_bin = TmpPath("cli_cv_cv.tel");
+  const std::string cv_text = TmpPath("cli_cv_back.tel");
+  const std::string query = TmpPath("cli_cv.tq");
+  const Args gen_common = {"random", "--vertices=30", "--edges=200",
+                           "--vlabels=2", "--seed=11", "--window=60"};
+  std::ostringstream out;
+  Args gen_text = gen_common;
+  gen_text.insert(gen_text.begin() + 1, text_tel);
+  ASSERT_EQ(CmdGen(gen_text, out), 0) << out.str();
+  Args gen_bin = gen_common;
+  gen_bin.insert(gen_bin.begin() + 1, bin_tel);
+  gen_bin.push_back("--format=binary");
+  ASSERT_EQ(CmdGen(gen_bin, out), 0) << out.str();
+  ASSERT_EQ(CmdGenQuery({text_tel, query, "--size=3", "--density=1",
+                         "--seed=4", "--window=60"},
+                        out),
+            0)
+      << out.str();
+
+  // convert defaults to the opposite framing; text -> binary must be
+  // byte-identical to generating binary directly.
+  std::ostringstream cv1;
+  ASSERT_EQ(CmdConvert({text_tel, cv_bin}, cv1), 0) << cv1.str();
+  EXPECT_NE(cv1.str().find("converted 200 records"), std::string::npos);
+  EXPECT_NE(cv1.str().find("(text -> binary)"), std::string::npos);
+  EXPECT_EQ(Slurp(cv_bin), Slurp(bin_tel));
+
+  // ...and binary -> text must restore the original file exactly.
+  std::ostringstream cv2;
+  ASSERT_EQ(CmdConvert({cv_bin, cv_text}, cv2), 0) << cv2.str();
+  EXPECT_NE(cv2.str().find("(binary -> text)"), std::string::npos);
+  EXPECT_EQ(Slurp(cv_text), Slurp(text_tel));
+
+  // The replayed match stream is framing-independent.
+  std::ostringstream text_replay, bin_replay;
+  ASSERT_EQ(CmdReplay({text_tel, query, "--print"}, text_replay), 0);
+  ASSERT_EQ(CmdReplay({bin_tel, query, "--print"}, bin_replay), 0);
+  EXPECT_NE(MatchLines(text_replay.str()), "");
+  EXPECT_EQ(MatchLines(bin_replay.str()), MatchLines(text_replay.str()));
+
+  // Flag validation.
+  std::ostringstream e1;
+  EXPECT_EQ(CmdConvert({text_tel, cv_bin, "--format=msgpack"}, e1), 1);
+  EXPECT_NE(e1.str().find("bad --format"), std::string::npos);
+  std::ostringstream e2;
+  EXPECT_EQ(CmdConvert({bin_tel, cv_text, "--varint=off"}, e2), 1);
+  std::ostringstream e3;
+  EXPECT_EQ(CmdConvert({text_tel, cv_bin, "--varint=maybe"}, e3), 1);
+  EXPECT_NE(e3.str().find("bad --varint"), std::string::npos);
+  std::ostringstream e4;
+  EXPECT_EQ(CmdConvert({text_tel, cv_bin, "--block-records=0"}, e4), 1);
+  std::ostringstream e5;
+  EXPECT_EQ(CmdConvert({text_tel}, e5), 2);  // usage: two positionals
+
+  std::remove(text_tel.c_str());
+  std::remove(bin_tel.c_str());
+  std::remove(cv_bin.c_str());
+  std::remove(cv_text.c_str());
+  std::remove(query.c_str());
+}
+
+TEST(Cli, ReplaySeekAndFlightRecorder) {
+  const std::string tel = TmpPath("cli_seek.tel");
+  const std::string text_tel = TmpPath("cli_seek_text.tel");
+  const std::string query = TmpPath("cli_seek.tq");
+  const std::string dump = TmpPath("cli_seek_dump.tel");
+  std::ostringstream out;
+  ASSERT_EQ(CmdGen({"random", tel, "--vertices=30", "--edges=200",
+                    "--vlabels=2", "--seed=11", "--window=60",
+                    "--format=binary", "--block-records=16"},
+                   out),
+            0)
+      << out.str();
+  ASSERT_EQ(CmdGenQuery({tel, query, "--size=3", "--density=1", "--seed=4",
+                         "--window=60"},
+                        out),
+            0)
+      << out.str();
+
+  // Seeking to before the stream replays the whole stream.
+  std::ostringstream full, seek0;
+  ASSERT_EQ(CmdReplay({tel, query, "--print"}, full), 0);
+  ASSERT_EQ(CmdReplay({tel, query, "--print", "--seek-ts=-100"}, seek0), 0)
+      << seek0.str();
+  EXPECT_EQ(MatchLines(seek0.str()), MatchLines(full.str()));
+
+  // A mid-stream seek emits a (possibly empty) tail of the match stream
+  // and must not crash; exact suffix equality at window-complete
+  // positions is pinned by io_roundtrip_test.
+  std::ostringstream mid;
+  ASSERT_EQ(CmdReplay({tel, query, "--seek-ts=500"}, mid), 0) << mid.str();
+
+  // Seek needs the binary index.
+  ASSERT_EQ(CmdConvert({tel, text_tel}, out), 0);
+  std::ostringstream noindex;
+  EXPECT_EQ(CmdReplay({text_tel, query, "--seek-ts=5"}, noindex), 1);
+  EXPECT_NE(noindex.str().find("binary"), std::string::npos);
+
+  // Flight recorder: dump written, reports ring occupancy, replayable.
+  std::ostringstream fl;
+  ASSERT_EQ(CmdReplay({tel, query, "--flight-record=50",
+                       "--flight-dump=" + dump},
+                      fl),
+            0)
+      << fl.str();
+  EXPECT_NE(fl.str().find("flight recorder: dumped 50 of 200 arrivals"),
+            std::string::npos)
+      << fl.str();
+  std::ostringstream fromdump;
+  EXPECT_EQ(CmdReplay({dump, query}, fromdump), 0) << fromdump.str();
+
+  // Flag validation: the pair goes together, N must be positive, format
+  // must be a known framing.
+  std::ostringstream b1;
+  EXPECT_EQ(CmdReplay({tel, query, "--flight-record=50"}, b1), 1);
+  EXPECT_NE(b1.str().find("go together"), std::string::npos);
+  std::ostringstream b2;
+  EXPECT_EQ(CmdReplay({tel, query, "--flight-dump=" + dump}, b2), 1);
+  std::ostringstream b3;
+  EXPECT_EQ(CmdReplay({tel, query, "--flight-record=0",
+                       "--flight-dump=" + dump},
+                      b3),
+            1);
+  std::ostringstream b4;
+  EXPECT_EQ(CmdReplay({tel, query, "--flight-format=binary"}, b4), 1);
+
+  std::remove(tel.c_str());
+  std::remove(text_tel.c_str());
+  std::remove(query.c_str());
+  std::remove(dump.c_str());
+}
+
 TEST(Cli, GenToStdoutIsParseableTel) {
   std::ostringstream out;
   ASSERT_EQ(CmdGen({"random", "-", "--vertices=20", "--edges=50",

@@ -40,14 +40,21 @@ TEST(Guards, RemoveDeadEdgeRejected) {
   EXPECT_DEATH(g.RemoveEdge(e), "");
 }
 
-TEST(Guards, ContextRequiresDenseArrivalIds) {
+TEST(Guards, ContextRequiresAscendingArrivalIds) {
   SharedStreamContext ctx(testlib::RunningExampleSchema());
   TemporalEdge e;
-  e.id = 5;  // first arrival must have id 0
+  // A seeked replay may start mid-stream, so a non-zero first id is
+  // legal (the skipped ids become permanent holes) — but ids must keep
+  // ascending from there.
+  e.id = 5;
   e.src = testlib::kV1;
   e.dst = testlib::kV2;
   e.ts = 1;
-  EXPECT_DEATH(ctx.OnEdgeArrival(e), "dense arrival");
+  ctx.OnEdgeArrival(e);
+  TemporalEdge stale = e;
+  stale.id = 3;
+  stale.ts = 2;
+  EXPECT_DEATH(ctx.OnEdgeArrival(stale), "ascending");
 }
 
 TEST(Guards, EngineRejectsDisconnectedQuery) {

@@ -3,13 +3,16 @@
 // diagnostic — never a crash, never a silently wrong dataset.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <string>
 
 #include "core/tcm_engine.h"
+#include "graph/temporal_dataset.h"
 #include "io/replay.h"
 #include "io/stream_reader.h"
 #include "io/stream_writer.h"
+#include "io/tel_binary.h"
 #include "query/query_io.h"
 #include "testlib/running_example.h"
 
@@ -181,6 +184,212 @@ TEST(TelErrors, WriterValidates) {
     EXPECT_FALSE(w.RecordArrival(e).ok());  // time went backwards
     EXPECT_FALSE(w.RecordExpiry(5).ok());   // derived-mode stream
   }
+}
+
+// --- Binary v2 framing ----------------------------------------------------
+//
+// The same contract as the text parser, with byte offsets instead of line
+// numbers: corruption of any shape returns CorruptInput carrying
+// "<source>:<offset>:" — never a crash, never a silently wrong dataset.
+// Tests corrupt writer-produced streams by byte surgery at offsets pinned
+// by the wire constants in io/tel_binary.h.
+
+/// A 4-arrival binary stream over an 8-vertex all-zero-label universe, so
+/// the label section is just its count and the layout is fully
+/// deterministic: magic (8) + header (24) + label count (8) = data at 40.
+std::string BinaryTel(bool varint, size_t block_records = 0) {
+  TemporalDataset ds;
+  ds.vertex_labels.assign(8, 0);
+  for (int i = 0; i < 4; ++i) {
+    TemporalEdge e;
+    e.id = static_cast<EdgeId>(i);
+    e.src = static_cast<VertexId>(i);
+    e.dst = static_cast<VertexId>(i + 1);
+    e.ts = 5 + i;
+    ds.edges.push_back(e);
+  }
+  TelWriteOptions opts;
+  opts.binary = true;
+  opts.varint_timestamps = varint;
+  opts.block_records = block_records;
+  opts.window = 10;
+  std::ostringstream out;
+  const Status s = WriteTel(ds, opts, out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out.str();
+}
+
+constexpr size_t kDataStart = 8 + kTelBinaryHeaderBytes + 8;
+constexpr size_t kPayload0 = kDataStart + kTelBlockHeaderBytes;
+
+/// Parses a (corrupted) binary stream and expects CorruptInput with a
+/// "test.tel:<offset>:" diagnostic and `what`.
+void ExpectBinaryTelError(const std::string& tel, uint64_t offset,
+                          const std::string& what) {
+  std::istringstream in(tel);
+  auto result = ReadTelDataset(in, "test.tel");
+  ASSERT_FALSE(result.ok()) << "parsed a corrupt binary stream";
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput);
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("test.tel:" + std::to_string(offset) + ":"),
+            std::string::npos)
+      << "no offset " << offset << " diagnostic in: " << msg;
+  EXPECT_NE(msg.find(what), std::string::npos)
+      << "'" << what << "' not in: " << msg;
+}
+
+TEST(TelBinaryErrors, HeaderProblems) {
+  {
+    std::string tel = BinaryTel(true);
+    tel[1] ^= 0x20;  // first byte still sniffs binary; signature broken
+    ExpectBinaryTelError(tel, 0, "bad binary magic");
+  }
+  {
+    std::string tel = BinaryTel(true);
+    tel[8] = 3;  // version u16 at offset 8
+    ExpectBinaryTelError(tel, 8, "unsupported tel version 3");
+  }
+  {
+    std::string tel = BinaryTel(true);
+    tel[10] |= 0x04;  // flags u16 at offset 10: an undefined bit
+    ExpectBinaryTelError(tel, 10, "unknown header flag bits");
+  }
+  {
+    std::string tel = BinaryTel(true);
+    std::memset(tel.data() + 16, 0, 8);  // num_vertices u64 at offset 16
+    ExpectBinaryTelError(tel, 16, "bad vertices count 0");
+  }
+  {
+    std::string tel = BinaryTel(true);
+    tel[31] = '\x40';  // window i64 at 24: top byte set -> negative/huge
+    ExpectBinaryTelError(tel, 24, "bad window");
+  }
+}
+
+TEST(TelBinaryErrors, TruncatedStream) {
+  const std::string tel = BinaryTel(/*varint=*/false);
+  // Cut mid-payload: the payload read at kPayload0 wants 4 * 24 bytes.
+  ExpectBinaryTelError(tel.substr(0, kPayload0 + 10), kPayload0,
+                       "stream ended after 10");
+  // Cut mid-block-header: the reader pulls the record count (4 bytes,
+  // succeeds), then the header remainder (28 bytes, 3 left).
+  ExpectBinaryTelError(tel.substr(0, kDataStart + 7), kDataStart + 4,
+                       "stream ended after 3");
+  // Cut before the sentinel: a clean block then a dangling 0-byte tail
+  // reads as a truncated next block header, not a clean end.
+  ExpectBinaryTelError(tel.substr(0, kPayload0 + 4 * 24 + 2),
+                       kPayload0 + 4 * 24, "stream ended after 2");
+}
+
+TEST(TelBinaryErrors, BlockHeaderProblems) {
+  {
+    std::string tel = BinaryTel(false);
+    tel[kDataStart + 4] = 7;  // encoding u32 at block offset +4
+    ExpectBinaryTelError(tel, kDataStart + 4, "bad block encoding 7");
+  }
+  {
+    std::string tel = BinaryTel(false);
+    tel[kDataStart] += 1;  // record_count no longer matches payload size
+    ExpectBinaryTelError(tel, kDataStart + 8,
+                         "block payload size does not match its record count");
+  }
+  {
+    // Two blocks; rewrite block 1's first_ts (i64 at block offset +16) to
+    // land before block 0's last record.
+    std::string tel = BinaryTel(false, /*block_records=*/2);
+    const size_t block1 = kPayload0 + 2 * kTelFixedRecordBytes;
+    std::memset(tel.data() + block1 + 16, 0, 8);
+    ExpectBinaryTelError(tel, block1 + 16, "block timestamps regress");
+  }
+}
+
+TEST(TelBinaryErrors, RecordProblems) {
+  {
+    std::string tel = BinaryTel(false);
+    tel[kPayload0] = 9;  // fixed record kind u32
+    ExpectBinaryTelError(tel, kPayload0, "bad record kind 9");
+  }
+  {
+    std::string tel = BinaryTel(false);
+    tel[kPayload0 + 8] = 100;  // dst u32: beyond the 8-vertex universe
+    ExpectBinaryTelError(tel, kPayload0, "vertex id out of range");
+  }
+  {
+    // All-0xFF continuation bytes after the first record's kind: the
+    // timestamp-delta varint never terminates.
+    std::string tel = BinaryTel(true);
+    uint32_t payload_bytes = 0;
+    std::memcpy(&payload_bytes, tel.data() + kDataStart + 8, 4);
+    for (size_t i = 1; i < payload_bytes; ++i) {
+      tel[kPayload0 + i] = '\xFF';
+    }
+    ExpectBinaryTelError(tel, kPayload0, "corrupt varint");
+  }
+  {
+    std::string tel = BinaryTel(true);
+    tel[kPayload0] = 1;  // arrival -> expiry in a derived-expiry stream
+    ExpectBinaryTelError(tel, kPayload0, "explicit expiry record");
+  }
+}
+
+/// Corrupts `tel` in place via `mutate`, then expects SeekToTimestamp to
+/// fail with CorruptInput carrying "test.tel:" and `what`. Sequential
+/// reads never touch the index footer, so these only surface on seek.
+template <typename Fn>
+void ExpectSeekError(Fn mutate, const std::string& what) {
+  std::string tel = BinaryTel(/*varint=*/true, /*block_records=*/2);
+  mutate(&tel);
+  std::istringstream in(tel);
+  StreamReader reader(in, "test.tel");
+  ASSERT_TRUE(reader.Init().ok());
+  const Status s = reader.SeekToTimestamp(6);
+  ASSERT_FALSE(s.ok()) << "seek succeeded on a corrupt index";
+  EXPECT_EQ(s.code(), StatusCode::kCorruptInput);
+  EXPECT_NE(s.message().find("test.tel:"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find(what), std::string::npos) << s.ToString();
+}
+
+TEST(TelBinaryErrors, IndexFooterProblems) {
+  ExpectSeekError([](std::string* tel) { tel->back() ^= 0xFF; },
+                  "missing or corrupt index footer");
+  ExpectSeekError(
+      [](std::string* tel) {
+        // num_blocks u64, second trailer field: the index no longer spans
+        // the file tail.
+        (*tel)[tel->size() - kTelTrailerBytes + 8] += 1;
+      },
+      "index/footer mismatch");
+  ExpectSeekError(
+      [](std::string* tel) {
+        // First index entry's block offset (u64 right after the index's
+        // own count) no longer points at the data start.
+        uint64_t index_offset = 0;
+        std::memcpy(&index_offset, tel->data() + tel->size() - kTelTrailerBytes,
+                    8);
+        (*tel)[index_offset + 8] += 1;
+      },
+      "first block offset is not the data start");
+}
+
+TEST(TelBinaryErrors, ReplaySurfacesBinaryCorruption) {
+  // Same contract as the text mid-stream test: the replay driver delivers
+  // everything before the corruption, then stops with the offset.
+  std::string tel = BinaryTel(/*varint=*/false, /*block_records=*/2);
+  const size_t block1 = kPayload0 + 2 * kTelFixedRecordBytes;
+  std::memset(tel.data() + block1 + 16, 0, 8);  // block 1 first_ts regress
+  std::istringstream in(tel);
+  StreamReader reader(in, "test.tel");
+  ASSERT_TRUE(reader.Init().ok());
+  SingleQueryContext<TcmEngine> run(testlib::RunningExampleQuery(),
+                                    reader.schema());
+  auto result = ReplayStream(&reader, ReplayOptions{}, &run);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptInput);
+  EXPECT_NE(result.status().message().find(
+                "test.tel:" + std::to_string(block1 + 16) + ":"),
+            std::string::npos)
+      << result.status().message();
 }
 
 TEST(QueryIoErrors, WindowRecord) {

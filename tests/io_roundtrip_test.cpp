@@ -23,6 +23,7 @@
 #include "io/stream_writer.h"
 #include "query/query_io.h"
 #include "querygen/query_generator.h"
+#include "shard/sharded_multi_engine.h"
 #include "testlib/fuzz_scenarios.h"
 #include "testlib/running_example.h"
 
@@ -185,9 +186,140 @@ TEST_P(IoRoundTrip, ExplicitExpiryReplayMatches) {
   }
 }
 
+// The binary v2 framing carries the same guarantee: a binary export —
+// either block encoding, including multi-block framing — replays
+// match-stream-identical to the in-memory run (and so, transitively, to
+// the text replay above) at 1 and 4 threads.
+TEST_P(IoRoundTrip, BinaryReplayMatchesInMemory) {
+  TaggedStreams serial(queries_.size());
+  uint64_t serial_total = 0;
+  RunInMemory(&serial, &serial_total);
+  if (HasFailure()) return;
+
+  for (const bool varint : {false, true}) {
+    TelWriteOptions opts;
+    opts.window = GetParam().window;
+    opts.binary = true;
+    opts.varint_timestamps = varint;
+    opts.block_records = 7;  // small blocks: the framing is exercised
+    std::ostringstream out;
+    ASSERT_TRUE(WriteTel(dataset_, opts, out).ok());
+
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE(std::string(varint ? "varint" : "fixed") + " threads " +
+                   std::to_string(threads));
+      TaggedStreams replayed(queries_.size());
+      uint64_t replay_total = 0;
+      RunFromTel(out.str(), threads, &replayed, &replay_total);
+      if (HasFailure()) return;
+      EXPECT_EQ(replay_total, serial_total);
+      for (size_t qi = 0; qi < queries_.size(); ++qi) {
+        EXPECT_EQ(replayed.streams[qi], serial.streams[qi])
+            << "per-query stream of query " << qi
+            << " diverged from the in-memory run";
+      }
+    }
+  }
+}
+
+// Binary replay through the vertex-partitioned sharded fan-out is also
+// identical to the serial in-memory run.
+TEST_P(IoRoundTrip, ShardedBinaryReplayMatchesSerial) {
+  TaggedStreams serial(queries_.size());
+  uint64_t serial_total = 0;
+  RunInMemory(&serial, &serial_total);
+  if (HasFailure()) return;
+
+  TelWriteOptions opts;
+  opts.window = GetParam().window;
+  opts.binary = true;
+  opts.block_records = 7;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTel(dataset_, opts, out).ok());
+
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                   std::to_string(threads));
+      std::istringstream in(out.str());
+      StreamReader reader(in, GetParam().name + ".tel");
+      ASSERT_TRUE(reader.Init().ok());
+      TaggedStreams sharded(queries_.size());
+      ShardedMultiQueryEngine engine(queries_, reader.schema(), shards,
+                                     TcmConfig{}, threads);
+      engine.set_multi_sink(&sharded);
+      auto res = ReplayStream(&reader, ReplayOptions{}, &engine);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      ASSERT_TRUE(res.value().completed);
+      EXPECT_EQ(res.value().num_shards, shards);
+      EXPECT_EQ(res.value().occurred + res.value().expired, serial_total);
+      for (size_t qi = 0; qi < queries_.size(); ++qi) {
+        EXPECT_EQ(sharded.streams[qi], serial.streams[qi])
+            << "per-query stream of query " << qi
+            << " diverged from serial execution";
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Catalogue, IoRoundTrip,
                          ::testing::ValuesIn(DefaultFuzzScenarios()),
                          ScenarioName);
+
+// --seek-ts at a window-complete block boundary (a >= window timestamp
+// gap aligned to the block framing, so no pre-seek edge is still live and
+// no match spans the cut) must produce exactly the suffix of the full
+// replay's match stream: same embeddings, same EdgeIds, same order. This
+// is the replayable-from-the-middle guarantee the index footer plus
+// first_arrival_index exist for.
+TEST(BinarySeek, SeekReplayIsFullReplaySuffix) {
+  // Two copies of the running example (window 10), the second shifted far
+  // past the first's last expiry and starting its own block.
+  TemporalDataset ds = testlib::RunningExampleDataset();
+  const size_t n = ds.NumEdges();
+  ASSERT_GT(n, 0u);
+  const Timestamp shift = ds.edges.back().ts + 10 + 25;
+  for (size_t i = 0; i < n; ++i) {
+    TemporalEdge e = ds.edges[i];
+    e.id = static_cast<EdgeId>(n + i);
+    e.ts += shift;
+    ds.edges.push_back(e);
+  }
+
+  TelWriteOptions opts;
+  opts.binary = true;
+  opts.window = 10;
+  opts.block_records = n;  // the gap lands exactly on a block boundary
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTel(ds, opts, out).ok());
+  const std::string tel = out.str();
+
+  const std::vector<QueryGraph> queries{testlib::RunningExampleQuery()};
+  const auto replay = [&](bool seek) {
+    std::istringstream in(tel);
+    StreamReader reader(in, "seek.tel");
+    EXPECT_TRUE(reader.Init().ok());
+    if (seek) {
+      const Status s = reader.SeekToTimestamp(shift);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(reader.first_arrival_index(), n);
+    }
+    auto tagged = std::make_unique<TaggedStreams>(1);
+    MultiQueryEngine engine(queries, reader.schema());
+    engine.set_multi_sink(tagged.get());
+    auto res = ReplayStream(&reader, ReplayOptions{}, &engine);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return std::move(tagged->streams[0]);
+  };
+
+  const MatchStream full = replay(/*seek=*/false);
+  const MatchStream suffix = replay(/*seek=*/true);
+  ASSERT_FALSE(full.empty());       // the running example has matches
+  ASSERT_FALSE(suffix.empty());
+  ASSERT_LT(suffix.size(), full.size());
+  EXPECT_EQ(MatchStream(full.end() - suffix.size(), full.end()), suffix)
+      << "seeked replay is not a suffix of the full replay";
+}
 
 // The Figure 2 worked example checked into tests/data/ must equal the
 // in-tree fixtures record for record...

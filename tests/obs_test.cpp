@@ -265,9 +265,12 @@ TEST(ObservabilityTest, RegistersFullTaxonomyAndFreezes) {
   EXPECT_NE(stages.arrival_batches, nullptr);
   EXPECT_NE(stages.expiry_batches, nullptr);
   EXPECT_NE(stages.summary_publishes, nullptr);
+  EXPECT_NE(stages.ingest_records, nullptr);
+  EXPECT_NE(stages.ingest_bytes, nullptr);
   EXPECT_NE(stages.live_edges, nullptr);
   EXPECT_NE(stages.peak_bytes, nullptr);
   EXPECT_NE(stages.peak_event_index, nullptr);
+  EXPECT_NE(stages.parse_ns, nullptr);
   EXPECT_NE(stages.arrival_batch_ns, nullptr);
   EXPECT_NE(stages.expiry_batch_ns, nullptr);
   EXPECT_NE(stages.pipeline_step_ns, nullptr);

@@ -47,6 +47,8 @@ import sys
 METRIC_FIELDS = {
     "elapsed_ms",
     "events_per_sec",
+    "mbytes_per_sec",
+    "stream_bytes",
     "events",
     "occurred",
     "expired",
