@@ -3,13 +3,19 @@
 // transaction networks").
 //
 // The query is a layering ring: money moves A -> B -> C -> A in strictly
-// increasing time order (a totally ordered directed cycle). Background
-// transactions are synthesized between labeled account tiers; two rings
-// are injected — one inside the time window and one stretched beyond it,
-// which must NOT be reported (the window kills stale partial flows).
+// increasing time order (a totally ordered directed cycle), with gap
+// bounds on the hops: real layering leaves a processing delay between
+// transfers, so each hop must follow the previous one by 10..100 time
+// units (`g` records, DESIGN.md §12). Background transactions are
+// synthesized between labeled account tiers; three rings are injected —
+// one inside the time window with realistic delays (reported), one
+// stretched beyond the window (killed by expiry), and one automated
+// burst that moves the money in back-to-back events (killed by the gap
+// lower bound: too fast to be human-driven layering).
 #include <iostream>
 #include <set>
 
+#include "common/logging.h"
 #include "core/engine.h"
 #include "core/stream_driver.h"
 #include "core/tcm_engine.h"
@@ -50,8 +56,10 @@ int main() {
   // Ring accounts (force retail label).
   const VertexId ring1[3] = {11, 12, 13};
   const VertexId ring2[3] = {21, 22, 23};
+  const VertexId ring3[3] = {31, 32, 33};
   for (const VertexId v : ring1) ds.vertex_labels[v] = 0;
   for (const VertexId v : ring2) ds.vertex_labels[v] = 0;
+  for (const VertexId v : ring3) ds.vertex_labels[v] = 0;
 
   auto inject = [&](const VertexId* ring, Timestamp base, Timestamp gap) {
     for (int i = 0; i < 3; ++i) {
@@ -64,9 +72,13 @@ int main() {
   };
   inject(ring1, 4000, 30);    // tight ring: fits into the window
   inject(ring2, 2000, 2500);  // stretched ring: hops expire in between
+  inject(ring3, 6000, 2);     // burst ring: hops nearly simultaneous
+  // Timestamps become dense ranks 1..|E|, so the injected raw gaps turn
+  // into event counts: ~31 events/hop for ring1, ~3 for ring3.
   ds.RankTimestamps();
 
-  // Query: directed 3-cycle with a total temporal order.
+  // Query: directed 3-cycle with a total temporal order and a gap bound
+  // per hop — each transfer 10..100 events after the previous one.
   QueryGraph query(/*directed=*/true);
   const VertexId a = query.AddVertex(0);
   const VertexId b = query.AddVertex(0);
@@ -74,11 +86,13 @@ int main() {
   const EdgeId t1 = query.AddEdge(a, b);
   const EdgeId t2 = query.AddEdge(b, c);
   const EdgeId t3 = query.AddEdge(c, a);
-  (void)query.AddOrder(t1, t2);
+  (void)query.AddOrder(t1, t2);  // implied by the gaps; kept for clarity
   (void)query.AddOrder(t2, t3);
+  TCSM_CHECK(query.AddGap(t1, t2, 10, 100).ok());
+  TCSM_CHECK(query.AddGap(t2, t3, 10, 100).ok());
 
   std::cout << "Laundering query: directed 3-cycle, strictly increasing "
-               "timestamps\n\n";
+               "timestamps, 10..100 events between hops\n\n";
 
   SingleQueryContext<TcmEngine> run(query,
                                     GraphSchema{true, ds.vertex_labels});
@@ -101,10 +115,15 @@ int main() {
       sink.rings().count({ring1[0], ring1[1], ring1[2]}) > 0;
   const bool stretched_absent =
       sink.rings().count({ring2[0], ring2[1], ring2[2]}) == 0;
+  const bool burst_absent =
+      sink.rings().count({ring3[0], ring3[1], ring3[2]}) == 0;
   std::cout << (tight_found ? "Tight ring detected.\n"
                             : "ERROR: tight ring missed!\n")
             << (stretched_absent
                     ? "Stretched ring correctly suppressed by the window.\n"
-                    : "ERROR: stretched ring should have expired!\n");
-  return tight_found && stretched_absent ? 0 : 1;
+                    : "ERROR: stretched ring should have expired!\n")
+            << (burst_absent
+                    ? "Burst ring correctly rejected by the gap bound.\n"
+                    : "ERROR: burst ring is too fast to be layering!\n");
+  return tight_found && stretched_absent && burst_absent ? 0 : 1;
 }

@@ -39,9 +39,11 @@ LocalEnumEngine::LocalEnumEngine(const QueryGraph& query,
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
   emap_.assign(query_.NumEdges(), kInvalidEdge);
   ets_.assign(query_.NumEdges(), 0);
+  InitAbsence(query_);
 }
 
 void LocalEnumEngine::OnEdgeInserted(const TemporalEdge& ed) {
+  AbsenceArrival(ed);
   FindMatches(ed, MatchKind::kOccurred);
 }
 
@@ -87,6 +89,11 @@ void LocalEnumEngine::Extend(size_t step) {
       for (const uint32_t b : BitRange(query_.After(a))) {
         if (!(ets_[a] < ets_[b])) return;
       }
+    }
+    // Gap bounds, post-checked the same way (DESIGN.md §12).
+    for (const GapConstraint& gc : query_.gaps()) {
+      const Timestamp d = ets_[gc.e2] - ets_[gc.e1];
+      if (d < gc.min_gap || d > gc.max_gap) return;
     }
     Embedding embedding;
     embedding.vertices = vmap_;

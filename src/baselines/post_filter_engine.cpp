@@ -18,6 +18,7 @@ PostFilterEngine::PostFilterEngine(const QueryGraph& query,
   vmap_.assign(query_.NumVertices(), kInvalidVertex);
   emap_.assign(query_.NumEdges(), kInvalidEdge);
   ets_.assign(query_.NumEdges(), 0);
+  InitAbsence(query_);
 }
 
 void PostFilterEngine::ApplyTriples(const TemporalEdge& ed, bool inserting) {
@@ -34,6 +35,7 @@ void PostFilterEngine::ApplyTriples(const TemporalEdge& ed, bool inserting) {
 }
 
 void PostFilterEngine::OnEdgeInserted(const TemporalEdge& ed) {
+  AbsenceArrival(ed);
   ApplyTriples(ed, /*inserting=*/true);
   FindMatches(ed, MatchKind::kOccurred);
 }
@@ -173,6 +175,11 @@ void PostFilterEngine::ReportIfTimeConstrained() {
     for (const uint32_t b : BitRange(query_.After(a))) {
       if (!(ets_[a] < ets_[b])) return;
     }
+  }
+  // Gap bounds, post-checked the same way (DESIGN.md §12).
+  for (const GapConstraint& gc : query_.gaps()) {
+    const Timestamp d = ets_[gc.e2] - ets_[gc.e1];
+    if (d < gc.min_gap || d > gc.max_gap) return;
   }
   Embedding embedding;
   embedding.vertices = vmap_;

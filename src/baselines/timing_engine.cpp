@@ -78,6 +78,7 @@ TimingEngine::TimingEngine(const QueryGraph& query,
 
   levels_.resize(m);
   feasible_live_.resize(m);
+  InitAbsence(query_);
 }
 
 uint64_t TimingEngine::JoinKeyOfRecord(size_t level, const Record& rec) const {
@@ -104,6 +105,7 @@ uint64_t TimingEngine::JoinKeyOfEdge(size_t level, VertexId img_u,
 }
 
 void TimingEngine::OnEdgeInserted(const TemporalEdge& ed) {
+  AbsenceArrival(ed);
   for (size_t i = 0; i < order_.size(); ++i) {
     const EdgeId qe = order_[i];
     bool any_feasible = false;
@@ -265,6 +267,15 @@ void TimingEngine::Store(size_t level, Record rec) {
 }
 
 void TimingEngine::ReportRecord(const Record& rec, MatchKind kind) {
+  // Gap bounds, post-checked on the complete record (DESIGN.md §12). The
+  // record's edges are all live in both paths — occurred trivially,
+  // expired because this runs from OnEdgeExpiring's pre-deletion phase —
+  // so reading their timestamps from the graph is safe.
+  for (const GapConstraint& gc : query_.gaps()) {
+    const Timestamp d = g_.Edge(rec.eimg[pos_of_edge_[gc.e2]]).ts -
+                        g_.Edge(rec.eimg[pos_of_edge_[gc.e1]]).ts;
+    if (d < gc.min_gap || d > gc.max_gap) return;
+  }
   Embedding embedding;
   embedding.vertices.assign(query_.NumVertices(), kInvalidVertex);
   embedding.edges.assign(query_.NumEdges(), kInvalidEdge);

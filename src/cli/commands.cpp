@@ -606,7 +606,8 @@ int CmdGenQuery(const Args& args, std::ostream& out) {
   if (flags.positional().size() != 2) {
     out << "usage: tcsm gen-query <dataset> <out-file> [--size=m] "
            "[--density=d] [--window=w] [--seed=K] [--directed] "
-           "[--labels=file]\n";
+           "[--labels=file] [--gaps=p] [--gap-slack=s] [--absence=n] "
+           "[--absence-delta=d]\n";
     return 2;
   }
   if (RejectObsFlags(flags, "gen-query", out)) return 2;
@@ -616,6 +617,10 @@ int CmdGenQuery(const Args& args, std::ostream& out) {
   opt.num_edges = static_cast<size_t>(flags.GetInt("size", 5));
   opt.density = flags.GetDouble("density", 0.5);
   opt.window = flags.GetInt("window", 0);
+  opt.gap_probability = flags.GetDouble("gaps", 0.0);
+  opt.gap_slack = flags.GetInt("gap-slack", 8);
+  opt.num_absence = static_cast<size_t>(flags.GetInt("absence", 0));
+  opt.absence_delta = flags.GetInt("absence-delta", 5);
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   QueryGraph q;
   if (!GenerateQuery(*ds, opt, &rng, &q)) {
@@ -629,8 +634,9 @@ int CmdGenQuery(const Args& args, std::ostream& out) {
     return 1;
   }
   out << "wrote query (|V|=" << q.NumVertices() << ", |E|=" << q.NumEdges()
-      << ", density=" << FormatDouble(q.OrderDensity(), 2) << ") to "
-      << flags.positional()[1] << "\n";
+      << ", density=" << FormatDouble(q.OrderDensity(), 2)
+      << ", gaps=" << q.gaps().size() << ", absence=" << q.absences().size()
+      << ") to " << flags.positional()[1] << "\n";
   return 0;
 }
 
@@ -784,6 +790,17 @@ int CmdReplay(const Args& args, std::ostream& out) {
     queries.push_back(std::move(*q));
   }
   const bool json = flags.Has("json");
+  // Absence predicates defer emission (DESIGN.md §12) — worth a header
+  // line so a reordered match stream isn't mistaken for nondeterminism.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (json) break;
+    const size_t ng = queries[i].gaps().size();
+    const size_t na = queries[i].absences().size();
+    if (ng == 0 && na == 0) continue;
+    out << "note: " << query_paths[i] << " carries " << ng
+        << " gap bound(s), " << na
+        << " absence predicate(s) (absence defers emission)\n";
+  }
   const std::string kind = flags.GetString("engine", "tcm");
   const size_t shards = ResolveShards(flags, kind, out);
   if (shards == 0) return 1;
@@ -959,7 +976,9 @@ int CmdReplay(const Args& args, std::ostream& out) {
       const EngineCounters& c = engines[i]->counters();
       out << (i == 0 ? "" : ",") << "{\"file\":\""
           << JsonEscape(query_paths[i]) << "\",\"occurred\":" << c.occurred
-          << ",\"expired\":" << c.expired << "}";
+          << ",\"expired\":" << c.expired
+          << ",\"gaps\":" << queries[i].gaps().size()
+          << ",\"absence\":" << queries[i].absences().size() << "}";
     }
     out << "]}\n";
   } else {
@@ -969,7 +988,8 @@ int CmdReplay(const Args& args, std::ostream& out) {
         const EngineCounters& c = engines[i]->counters();
         out << "  q" << i << " " << query_paths[i]
             << " occurred=" << c.occurred << " expired=" << c.expired
-            << "\n";
+            << " gaps=" << queries[i].gaps().size()
+            << " absence=" << queries[i].absences().size() << "\n";
       }
     }
   }

@@ -10,7 +10,10 @@
 #define TCSM_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -145,16 +148,77 @@ class ContinuousEngine {
  protected:
   const StageMetrics* stage_metrics_ = nullptr;
 
+  /// Routes every match report. Without absence predicates this is the
+  /// direct emission path (one pointer test); with them, occurred reports
+  /// are deferred and expired reports resolve the pending state
+  /// (DESIGN.md §12). Engines with absence active always report expanded
+  /// embeddings with multiplicity 1.
   void Report(const Embedding& embedding, MatchKind kind,
               uint64_t multiplicity) {
+    if (absence_ != nullptr) {
+      AbsenceReport(embedding, kind, multiplicity);
+      return;
+    }
+    Emit(embedding, kind, multiplicity);
+  }
+
+  /// Sets up the deferred-emission state iff `query` carries absence
+  /// predicates. Every engine constructor calls this once.
+  void InitAbsence(const QueryGraph& query);
+
+  /// Absence hook for arrivals: every engine calls this at the very top of
+  /// OnEdgeInserted, before any relevance early-out — an edge that matches
+  /// no query edge can still violate (or time out) an absence window.
+  void AbsenceArrival(const TemporalEdge& ed) {
+    if (absence_ != nullptr) AbsenceArrivalSlow(ed);
+  }
+
+  bool absence_active() const { return absence_ != nullptr; }
+
+  MatchSink* sink_ = nullptr;
+  Deadline* deadline_ = nullptr;
+  EngineCounters counters_;
+
+ private:
+  /// Counter + sink emission; counters count at emission time so they
+  /// always reconcile with what the sink observed.
+  void Emit(const Embedding& embedding, MatchKind kind,
+            uint64_t multiplicity) {
     (kind == MatchKind::kOccurred ? counters_.occurred : counters_.expired) +=
         multiplicity;
     if (sink_ != nullptr) sink_->OnMatch(embedding, kind, multiplicity);
   }
 
-  MatchSink* sink_ = nullptr;
-  Deadline* deadline_ = nullptr;
-  EngineCounters counters_;
+  struct AbsencePending {
+    Embedding emb;
+    Timestamp trigger_ts = 0;
+    Timestamp deadline = 0;
+  };
+  struct AbsenceState {
+    bool directed = false;
+    std::vector<AbsencePredicate> predicates;
+    Timestamp max_delta = 0;
+    /// Timestamp of the most recent arrival, plus the arrivals at that
+    /// instant whose label matches some predicate (delivered before the
+    /// current one): a completion at time T must also check edges that
+    /// arrived at T *before* its trigger.
+    Timestamp cur_ts = kMinusInfinity;
+    std::vector<TemporalEdge> same_ts;
+    /// Completions awaiting their absence window, in completion (FIFO)
+    /// order; deadlines are non-decreasing because max_delta is constant.
+    std::deque<AbsencePending> pending;
+    /// Embeddings whose occurred report was suppressed by a violating
+    /// edge; their eventual expired report is swallowed too.
+    std::unordered_set<Embedding, EmbeddingHash> suppressed;
+  };
+
+  void AbsenceArrivalSlow(const TemporalEdge& ed);
+  void AbsenceReport(const Embedding& embedding, MatchKind kind,
+                     uint64_t multiplicity);
+  bool AbsenceViolates(const Embedding& emb, Timestamp trigger_ts,
+                       const TemporalEdge& ed) const;
+
+  std::unique_ptr<AbsenceState> absence_;
 };
 
 }  // namespace tcsm

@@ -75,6 +75,7 @@ BasicTcmEngine<GraphT>::BasicTcmEngine(const QueryGraph& query,
       feasible_sigs_.push_back(sig);
     }
   }
+  InitAbsence(query_);
 }
 
 template <typename GraphT>
@@ -104,6 +105,10 @@ bool BasicTcmEngine<GraphT>::Relevant(const TemporalEdge& ed) const {
 
 template <typename GraphT>
 void BasicTcmEngine<GraphT>::OnEdgeInserted(const TemporalEdge& ed) {
+  // Absence predicates watch every arrival — an edge that matches no query
+  // edge can still violate (or close) an open absence window — so the
+  // deferral hook runs before the relevance early-out.
+  AbsenceArrival(ed);
   // A statically infeasible edge cannot dirty a filter entry, enter the
   // DCS, or seed a match, so the whole event is a no-op for this query.
   // In multi-query deployments most events are irrelevant to most
@@ -300,34 +305,59 @@ auto BasicTcmEngine<GraphT>::Extend() -> SearchResult {
 template <typename GraphT>
 auto BasicTcmEngine<GraphT>::ExtendEdge(EdgeId qe) -> SearchResult {
   const QueryEdge& q = query_.Edge(qe);
-  const Mask64 rplus = query_.Related(qe) & mapped_edges_;
+  // When gap pruning is on, gap partners count as temporally related:
+  // their mapped timestamps constrained this window (below), and an
+  // unmapped partner still cares which alternative is chosen — which
+  // keeps technique 1 from grouping candidates a gap bound would later
+  // tell apart, and technique 2's uniformity test from firing (a gap
+  // partner is in neither order mask). GapRelated is empty for queries
+  // without gaps, so this is the pre-existing behavior there.
+  const Mask64 related_all =
+      query_.Related(qe) |
+      (config_.prune_gap_bounds ? query_.GapRelated(qe) : 0);
+  const Mask64 rplus = related_all & mapped_edges_;
   const std::vector<ParallelEdge>* plist =
       dcs_.Parallel(qe, vmap_[q.u], vmap_[q.v]);
   if (plist == nullptr || plist->empty()) {
     return SearchResult{false, rplus};  // leaf: TF = R+_M(e)  (Def. V.3)
   }
 
-  // ECM(e): candidates within the (lo, hi) window imposed by the mapped
-  // temporally related edges (Definition V.2).
+  // ECM(e): candidates within the inclusive [lo, hi] window imposed by the
+  // mapped temporally related edges (Definition V.2; the order bounds are
+  // strict, and timestamps are integers bounded away from the sentinels,
+  // so ±1 converts them to inclusive bounds), intersected with the gap
+  // windows against mapped gap partners when gap pruning is on
+  // (DESIGN.md §12).
   Timestamp lo = kMinusInfinity;
   Timestamp hi = kPlusInfinity;
   for (const uint32_t i : BitRange(query_.Before(qe) & mapped_edges_)) {
-    lo = std::max(lo, ets_[i]);
+    lo = std::max(lo, ets_[i] + 1);
   }
   for (const uint32_t i : BitRange(query_.After(qe) & mapped_edges_)) {
-    hi = std::min(hi, ets_[i]);
+    hi = std::min(hi, ets_[i] - 1);
   }
-  const auto begin = std::upper_bound(
+  if (config_.prune_gap_bounds && !query_.gaps().empty()) {
+    for (const GapConstraint& gc : query_.gaps()) {
+      if (gc.e2 == qe && HasBit(mapped_edges_, gc.e1)) {
+        lo = std::max(lo, ets_[gc.e1] + gc.min_gap);
+        hi = std::min(hi, ets_[gc.e1] + gc.max_gap);
+      } else if (gc.e1 == qe && HasBit(mapped_edges_, gc.e2)) {
+        lo = std::max(lo, ets_[gc.e2] - gc.max_gap);
+        hi = std::min(hi, ets_[gc.e2] - gc.min_gap);
+      }
+    }
+  }
+  const auto begin = std::lower_bound(
       plist->begin(), plist->end(), lo,
-      [](Timestamp t, const ParallelEdge& p) { return t < p.ts; });
-  const auto end = std::lower_bound(
-      plist->begin(), plist->end(), hi,
       [](const ParallelEdge& p, Timestamp t) { return p.ts < t; });
+  const auto end = std::upper_bound(
+      begin, plist->end(), hi,
+      [](Timestamp t, const ParallelEdge& p) { return t < p.ts; });
   if (begin >= end) return SearchResult{false, rplus};
   const size_t first = static_cast<size_t>(begin - plist->begin());
   const size_t count = static_cast<size_t>(end - begin);
 
-  const Mask64 rminus = query_.Related(qe) & ~mapped_edges_;
+  const Mask64 rminus = related_all & ~mapped_edges_;
 
   // Pruning technique 1: no temporally related edge remains — all
   // candidates yield identical subtrees.
@@ -458,11 +488,24 @@ void BasicTcmEngine<GraphT>::ReportCurrent() {
   Embedding embedding;
   embedding.vertices = vmap_;
   embedding.edges = emap_;
+  // With gap pruning off, gaps are enforced here on complete embeddings
+  // (the ablation baseline). With it on, every mapped edge already passed
+  // a gap-tightened window, so complete embeddings need no re-check.
+  const bool gap_postcheck =
+      !config_.prune_gap_bounds && !query_.gaps().empty();
   if (free_groups_.empty()) {
+    if (gap_postcheck && !GapsOk(ets_)) return;
     Report(embedding, kind_, 1);
     return;
   }
-  if (sink_ != nullptr && sink_->wants_each_embedding()) {
+  // Per-embedding expansion: requested by the sink, or forced — absence
+  // suppression depends on the concrete edge images, and the gap
+  // post-filter must judge each parallel alternative by its own timestamp
+  // (in pruning mode the grouped window already satisfies the gaps, so
+  // the multiplicity path stays valid there).
+  if (absence_active() || gap_postcheck ||
+      (sink_ != nullptr && sink_->wants_each_embedding())) {
+    expand_ets_ = ets_;
     ExpandGroups(0, &embedding);
     return;
   }
@@ -477,17 +520,33 @@ template <typename GraphT>
 void BasicTcmEngine<GraphT>::ExpandGroups(size_t group_idx,
                                           Embedding* embedding) {
   if (group_idx == free_groups_.size()) {
+    if (!config_.prune_gap_bounds && !query_.gaps().empty() &&
+        !GapsOk(expand_ets_)) {
+      return;
+    }
     Report(*embedding, kind_, 1);
     return;
   }
   const FreeGroup& group = free_groups_[group_idx];
   const EdgeId saved = embedding->edges[group.qe];
+  const Timestamp saved_ts = expand_ets_[group.qe];
   ExpandGroups(group_idx + 1, embedding);
   for (const ParallelEdge& alt : group.alternatives) {
     embedding->edges[group.qe] = alt.edge;
+    expand_ets_[group.qe] = alt.ts;
     ExpandGroups(group_idx + 1, embedding);
   }
   embedding->edges[group.qe] = saved;
+  expand_ets_[group.qe] = saved_ts;
+}
+
+template <typename GraphT>
+bool BasicTcmEngine<GraphT>::GapsOk(const std::vector<Timestamp>& ets) const {
+  for (const GapConstraint& gc : query_.gaps()) {
+    const Timestamp d = ets[gc.e2] - ets[gc.e1];
+    if (d < gc.min_gap || d > gc.max_gap) return false;
+  }
+  return true;
 }
 
 template <typename GraphT>

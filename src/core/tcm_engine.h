@@ -58,6 +58,15 @@ struct TcmConfig {
   bool prune_uniform = true;
   /// Pruning technique 3 (temporal failing sets).
   bool prune_failing_set = true;
+  /// Prune with inter-edge gap bounds (QueryGraph::gaps) during
+  /// backtracking: the ECM candidate window of an edge is intersected with
+  /// [ts(partner) + min, ts(partner) + max] for every mapped gap partner,
+  /// and gap partners count as temporally related when grouping parallel
+  /// candidates (technique 1). Off = gaps are post-filtered on complete
+  /// embeddings (the baseline behavior); results are identical either way
+  /// — this is the ablation knob proving the pruning win. No-op for
+  /// queries without gap constraints.
+  bool prune_gap_bounds = true;
   /// Enumerate only the (edge label, neighbor label) adjacency bucket a
   /// query edge can match (TemporalGraph::NeighborsMatching) during filter
   /// recomputation and DCS rescans. Off = visit every incident entry and
@@ -134,6 +143,8 @@ class BasicTcmEngine : public ContinuousEngine {
   SearchResult ExtendVertex();
   void ReportCurrent();
   void ExpandGroups(size_t group_idx, Embedding* embedding);
+  /// All gap bounds satisfied by the given per-query-edge timestamps.
+  bool GapsOk(const std::vector<Timestamp>& ets) const;
 
   void MapVertex(VertexId u, VertexId v) {
     vmap_[u] = v;
@@ -190,6 +201,9 @@ class BasicTcmEngine : public ContinuousEngine {
   Mask64 mapped_edges_ = 0;
   std::unordered_set<VertexId> used_data_;
   std::vector<FreeGroup> free_groups_;
+  /// Per-alternative timestamps during free-group expansion, so the gap
+  /// post-filter judges each expanded embedding by its own timestamps.
+  std::vector<Timestamp> expand_ets_;
 };
 
 /// The canonical single-graph instantiation; compiled once in

@@ -27,6 +27,7 @@ EdgeId QueryGraph::AddEdge(VertexId u, VertexId v, Label elabel) {
   after_.push_back(0);
   declared_before_.push_back(0);
   declared_after_.push_back(0);
+  gap_related_.push_back(0);
   return id;
 }
 
@@ -51,6 +52,58 @@ Status QueryGraph::AddOrder(EdgeId a, EdgeId b) {
   for (uint32_t y : BitRange(highs)) {
     before_[y] |= lows;
   }
+  return Status::Ok();
+}
+
+Status QueryGraph::AddGap(EdgeId e1, EdgeId e2, Timestamp min_gap,
+                          Timestamp max_gap) {
+  if (e1 >= edges_.size() || e2 >= edges_.size()) {
+    return Status::InvalidArgument("gap references unknown edge");
+  }
+  if (e1 == e2) {
+    return Status::InvalidArgument("gap must relate two distinct edges");
+  }
+  if (min_gap < 0 || max_gap < 0) {
+    return Status::InvalidArgument("gap bounds must be non-negative");
+  }
+  if (min_gap > max_gap) {
+    return Status::InvalidArgument("gap bounds must satisfy min <= max");
+  }
+  if (max_gap > kMaxStreamTimestamp) {
+    return Status::InvalidArgument("gap bound exceeds the timestamp range");
+  }
+  for (const GapConstraint& gc : gaps_) {
+    if (gc.e1 == e1 && gc.e2 == e2) {
+      return Status::InvalidArgument("duplicate gap for edge pair");
+    }
+  }
+  if (min_gap >= 1) {
+    // A strictly positive lower bound is an order constraint; folding it
+    // into ≺ lets every order-aware code path prune with it for free.
+    const Status s = AddOrder(e1, e2);
+    if (!s.ok()) return s;
+  }
+  gaps_.push_back(GapConstraint{e1, e2, min_gap, max_gap});
+  gap_related_[e1] |= Bit(e2);
+  gap_related_[e2] |= Bit(e1);
+  return Status::Ok();
+}
+
+Status QueryGraph::AddAbsence(VertexId u, VertexId v, Label label,
+                              Timestamp delta) {
+  if (u >= vertex_labels_.size() || v >= vertex_labels_.size()) {
+    return Status::InvalidArgument("absence references unknown vertex");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("absence endpoints must be distinct");
+  }
+  if (delta < 0) {
+    return Status::InvalidArgument("absence delta must be non-negative");
+  }
+  if (delta > kMaxStreamTimestamp) {
+    return Status::InvalidArgument("absence delta exceeds the timestamp range");
+  }
+  absences_.push_back(AbsencePredicate{u, v, label, delta});
   return Status::Ok();
 }
 
@@ -125,6 +178,14 @@ std::string QueryGraph::ToString() const {
     for (uint32_t b : BitRange(after_[a])) {
       os << "  e" << a << " < e" << b << "\n";
     }
+  }
+  for (const GapConstraint& gc : gaps_) {
+    os << "  gap e" << gc.e1 << " .. e" << gc.e2 << " in [" << gc.min_gap
+       << ", " << gc.max_gap << "]\n";
+  }
+  for (const AbsencePredicate& p : absences_) {
+    os << "  absent (" << p.u << (directed_ ? " -> " : " -- ") << p.v
+       << ") label=" << p.label << " delta=" << p.delta << "\n";
   }
   return os.str();
 }

@@ -24,6 +24,27 @@ struct QueryEdge {
   VertexId Other(VertexId x) const { return x == u ? v : u; }
 };
 
+/// Inter-edge gap bound: min_gap <= ts(e2) - ts(e1) <= max_gap (inclusive).
+/// min_gap >= 1 implies e1 ≺ e2 and is folded into the order relation.
+struct GapConstraint {
+  EdgeId e1 = kInvalidEdge;
+  EdgeId e2 = kInvalidEdge;
+  Timestamp min_gap = 0;
+  Timestamp max_gap = 0;
+};
+
+/// Absence predicate: an embedding completed at time T is emitted only if
+/// no data edge (img(u), img(v)) with label `label` — other than the
+/// embedding's own edges — arrives with timestamp in [T, T + delta]. For
+/// undirected queries either orientation of the data edge violates.
+/// Emission is deferred until the absence window resolves (DESIGN.md §12).
+struct AbsencePredicate {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Label label = 0;
+  Timestamp delta = 0;
+};
+
 class QueryGraph {
  public:
   /// Maximum query size supported by the bitmask representation. The paper
@@ -45,6 +66,14 @@ class QueryGraph {
   /// Declares a ≺ b and closes the relation transitively. Fails if it
   /// would create a cycle (the relation must stay a strict partial order).
   Status AddOrder(EdgeId a, EdgeId b);
+
+  /// Declares min_gap <= ts(e2) - ts(e1) <= max_gap (inclusive, both >= 0).
+  /// min_gap >= 1 additionally declares e1 ≺ e2 (and can therefore fail
+  /// with a cycle like AddOrder). One gap per ordered edge pair.
+  Status AddGap(EdgeId e1, EdgeId e2, Timestamp min_gap, Timestamp max_gap);
+
+  /// Declares an absence predicate on the images of query vertices u != v.
+  Status AddAbsence(VertexId u, VertexId v, Label label, Timestamp delta);
 
   size_t NumVertices() const { return vertex_labels_.size(); }
   size_t NumEdges() const { return edges_.size(); }
@@ -78,6 +107,15 @@ class QueryGraph {
   }
 
   bool Precedes(EdgeId a, EdgeId b) const { return HasBit(after_[a], b); }
+
+  const std::vector<GapConstraint>& gaps() const { return gaps_; }
+  const std::vector<AbsencePredicate>& absences() const { return absences_; }
+
+  /// Edges sharing a gap constraint with e (either role). Disjoint from
+  /// the order masks unless the gap also implied an order; engines that
+  /// prune with gap bounds treat GapRelated like Related when deciding
+  /// whether an unmapped edge still cares about e's timestamp.
+  Mask64 GapRelated(EdgeId e) const { return gap_related_[e]; }
 
   /// Number of ordered pairs in ≺ (after transitive closure).
   size_t NumOrderPairs() const;
@@ -113,6 +151,9 @@ class QueryGraph {
   std::vector<Mask64> after_;
   std::vector<Mask64> declared_before_;
   std::vector<Mask64> declared_after_;
+  std::vector<Mask64> gap_related_;
+  std::vector<GapConstraint> gaps_;
+  std::vector<AbsencePredicate> absences_;
 };
 
 }  // namespace tcsm

@@ -1,6 +1,7 @@
 #include "query/query_io.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "io/tel_format.h"
@@ -55,8 +56,31 @@ StatusOr<QueryGraph> ParseQuery(std::istream& in) {
     } else if (tag == "o") {
       int64_t a, b;
       if (!(ls >> a >> b)) return fail("bad order");
+      if (a < 0 || b < 0) return fail("order references unknown edge");
       const Status s = query.AddOrder(static_cast<EdgeId>(a),
                                       static_cast<EdgeId>(b));
+      if (!s.ok()) return fail(s.message());
+    } else if (tag == "g") {
+      if (!have_header) return fail("gap before header");
+      int64_t a, b, min_gap, max_gap;
+      if (!(ls >> a >> b >> min_gap >> max_gap)) return fail("bad gap");
+      if (a < 0 || b < 0) return fail("gap references unknown edge");
+      const Status s =
+          query.AddGap(static_cast<EdgeId>(a), static_cast<EdgeId>(b),
+                       min_gap, max_gap);
+      if (!s.ok()) return fail(s.message());
+    } else if (tag == "n") {
+      if (!have_header) return fail("absence before header");
+      int64_t u, v, label, delta;
+      if (!(ls >> u >> v >> label >> delta)) return fail("bad absence");
+      if (u < 0 || v < 0) return fail("absence references unknown vertex");
+      if (label < 0 ||
+          label > static_cast<int64_t>(std::numeric_limits<Label>::max())) {
+        return fail("absence references undeclared label");
+      }
+      const Status s =
+          query.AddAbsence(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                           static_cast<Label>(label), delta);
       if (!s.ok()) return fail(s.message());
     } else if (tag == "w") {
       if (!have_header) return fail("window before header");
@@ -105,11 +129,28 @@ std::string SerializeQuery(const QueryGraph& query) {
     const QueryEdge& qe = query.Edge(static_cast<EdgeId>(e));
     os << "e " << e << ' ' << qe.u << ' ' << qe.v << ' ' << qe.elabel << '\n';
   }
-  // Export the declared pairs; the closure is reconstructed on load.
+  // Export the declared pairs; the closure is reconstructed on load. Pairs
+  // implied by a gap with min >= 1 are skipped — reparsing the g record
+  // re-declares them, so emitting both would not round-trip.
   for (size_t a = 0; a < query.NumEdges(); ++a) {
     for (uint32_t b : BitRange(query.DeclaredAfter(static_cast<EdgeId>(a)))) {
-      os << "o " << a << ' ' << b << '\n';
+      bool implied_by_gap = false;
+      for (const GapConstraint& gc : query.gaps()) {
+        if (gc.e1 == a && gc.e2 == b && gc.min_gap >= 1) {
+          implied_by_gap = true;
+          break;
+        }
+      }
+      if (!implied_by_gap) os << "o " << a << ' ' << b << '\n';
     }
+  }
+  for (const GapConstraint& gc : query.gaps()) {
+    os << "g " << gc.e1 << ' ' << gc.e2 << ' ' << gc.min_gap << ' '
+       << gc.max_gap << '\n';
+  }
+  for (const AbsencePredicate& p : query.absences()) {
+    os << "n " << p.u << ' ' << p.v << ' ' << p.label << ' ' << p.delta
+       << '\n';
   }
   return os.str();
 }

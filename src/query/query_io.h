@@ -4,6 +4,9 @@
 //   v <id> <label>
 //   e <id> <u> <v> [elabel]
 //   o <a> <b>          # edge a precedes edge b (a ≺ b)
+//   g <a> <b> <min> <max>   # min <= ts(b) - ts(a) <= max (min >= 1 => a ≺ b)
+//   n <u> <v> <label> <delta>  # emit only if no such data edge arrives
+//                              # within delta of the completing edge
 //   w <delta>          # suggested replay window (optional, at most once)
 //
 // Vertices and edges must be declared with dense, in-order ids. The

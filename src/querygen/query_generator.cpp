@@ -165,6 +165,48 @@ bool GenerateTopology(const TemporalDataset& dataset,
   return true;
 }
 
+/// Converts adjacent witness-timestamp pairs into gap bounds around the
+/// witnessed difference. Orders implied by a gap (min >= 1) always point
+/// along the witness-sorted edge sequence — the same direction ApplyOrder
+/// uses — so folding them into ≺ can never cycle.
+void ApplyGaps(QueryGraph* query,
+               const std::vector<std::pair<EdgeId, Timestamp>>& edge_ts,
+               const QueryGenOptions& options, Rng* rng) {
+  if (options.gap_probability <= 0.0) return;
+  for (size_t i = 0; i + 1 < edge_ts.size(); ++i) {
+    if (!rng->NextBool(options.gap_probability)) continue;
+    const Timestamp d = edge_ts[i + 1].second - edge_ts[i].second;
+    const Timestamp min_gap = std::max<Timestamp>(0, d - options.gap_slack);
+    const Timestamp max_gap =
+        std::min(d + options.gap_slack, kMaxStreamTimestamp);
+    TCSM_CHECK(query
+                   ->AddGap(edge_ts[i].first, edge_ts[i + 1].first, min_gap,
+                            max_gap)
+                   .ok());
+  }
+}
+
+void ApplyAbsences(QueryGraph* query, const QueryGenOptions& options,
+                   Rng* rng) {
+  if (options.num_absence == 0 || query->NumVertices() < 2) return;
+  Label max_elabel = 0;
+  for (size_t e = 0; e < query->NumEdges(); ++e) {
+    max_elabel =
+        std::max(max_elabel, query->Edge(static_cast<EdgeId>(e)).elabel);
+  }
+  for (size_t i = 0; i < options.num_absence; ++i) {
+    const VertexId u =
+        static_cast<VertexId>(rng->NextBounded(query->NumVertices()));
+    VertexId v = u;
+    while (v == u) {
+      v = static_cast<VertexId>(rng->NextBounded(query->NumVertices()));
+    }
+    const Label label =
+        static_cast<Label>(rng->NextBounded(static_cast<uint64_t>(max_elabel) + 2));
+    TCSM_CHECK(query->AddAbsence(u, v, label, options.absence_delta).ok());
+  }
+}
+
 }  // namespace
 
 bool GenerateQuery(const TemporalDataset& dataset,
@@ -176,6 +218,8 @@ bool GenerateQuery(const TemporalDataset& dataset,
     return false;
   }
   ApplyOrder(&query, edge_ts, options.density, rng);
+  ApplyGaps(&query, edge_ts, options, rng);
+  ApplyAbsences(&query, options, rng);
   // The walk was confined to a window-sized slice; carry that window as
   // the query file's suggested replay delta (`w` record).
   query.set_window_hint(options.window);

@@ -25,6 +25,21 @@ struct QueryGenOptions {
   Timestamp window = 0;
   size_t max_attempts = 100;
   size_t max_walk_steps = 4000;
+  /// Probability that an adjacent pair of witness timestamps becomes a gap
+  /// bound `g` record: bounds [max(0, d - gap_slack), d + gap_slack] around
+  /// the witnessed difference d, so the witness embedding satisfies every
+  /// generated gap. 0 = no gap constraints (the default).
+  double gap_probability = 0.0;
+  /// Slack around the witnessed gap; smaller = tighter pruning windows.
+  Timestamp gap_slack = 8;
+  /// Number of absence predicates (`n` records) to attach: random distinct
+  /// query-vertex pairs with labels drawn from the query's edge-label
+  /// alphabet plus one out-of-alphabet value (a vacuously satisfiable
+  /// predicate keeps the zero-suppression path covered). The witness may
+  /// legitimately be suppressed by a generated predicate.
+  size_t num_absence = 0;
+  /// Delta for generated absence predicates.
+  Timestamp absence_delta = 5;
 };
 
 /// Returns false when no connected subgraph of the requested size could be

@@ -57,6 +57,18 @@ bool OrderOk(const EnumCtx& ctx, EdgeId qe, Timestamp ts) {
   for (const uint32_t e : BitRange(ctx.q->After(qe) & ctx.mapped_e)) {
     if (!(ts < ctx.ets[e])) return false;
   }
+  // Gap bounds (DESIGN.md §12): min <= ts(e2) - ts(e1) <= max, inclusive,
+  // checked against whichever partner is already mapped.
+  for (const GapConstraint& gc : ctx.q->gaps()) {
+    if (gc.e2 == qe && HasBit(ctx.mapped_e, gc.e1)) {
+      const Timestamp d = ts - ctx.ets[gc.e1];
+      if (d < gc.min_gap || d > gc.max_gap) return false;
+    }
+    if (gc.e1 == qe && HasBit(ctx.mapped_e, gc.e2)) {
+      const Timestamp d = ctx.ets[gc.e2] - ts;
+      if (d < gc.min_gap || d > gc.max_gap) return false;
+    }
+  }
   return true;
 }
 

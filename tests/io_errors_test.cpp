@@ -411,5 +411,107 @@ TEST(QueryIoErrors, WindowRecord) {
       << bad.status().message();
 }
 
+/// Three vertices on a directed triangle — enough structure for order
+/// chains and gap/absence records. Appended records start at line 8.
+std::string TriangleQuery() {
+  return "t 3 3\nv 0 0\nv 1 0\nv 2 0\ne 0 0 1\ne 1 1 2\ne 2 2 0\n";
+}
+
+/// Hostile records must produce a line-numbered Status, never abort.
+void ExpectQueryParseError(const std::string& text, const std::string& what,
+                           int line) {
+  auto r = ParseQueryString(text);
+  ASSERT_FALSE(r.ok()) << "parse succeeded on:\n" << text;
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptInput)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find(what), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("line " + std::to_string(line)),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(QueryIoErrors, OrderRecordHostile) {
+  const std::string base = TriangleQuery();
+  ExpectQueryParseError(base + "o 0\n", "bad order", 8);
+  ExpectQueryParseError(base + "o 0 9\n", "order references unknown edge", 8);
+  ExpectQueryParseError(base + "o -1 1\n", "order references unknown edge",
+                        8);
+  ExpectQueryParseError(base + "o 1 1\n", "order must be irreflexive", 8);
+  // A cyclic order chain: the closing record carries the error.
+  ExpectQueryParseError(base + "o 0 1\no 1 2\no 2 0\n",
+                        "order would create a cycle", 10);
+}
+
+TEST(QueryIoErrors, GapRecordHostile) {
+  const std::string base = TriangleQuery();
+  ExpectQueryParseError("g 0 1 1 2\n" + base, "gap before header", 1);
+  ExpectQueryParseError(base + "g 0\n", "bad gap", 8);
+  ExpectQueryParseError(base + "g 0 1 x 2\n", "bad gap", 8);
+  ExpectQueryParseError(base + "g 0 9 1 2\n", "gap references unknown edge",
+                        8);
+  ExpectQueryParseError(base + "g -1 1 1 2\n", "gap references unknown edge",
+                        8);
+  ExpectQueryParseError(base + "g 0 0 1 2\n",
+                        "gap must relate two distinct edges", 8);
+  ExpectQueryParseError(base + "g 0 1 5 2\n",
+                        "gap bounds must satisfy min <= max", 8);
+  ExpectQueryParseError(base + "g 0 1 -3 4\n",
+                        "gap bounds must be non-negative", 8);
+  ExpectQueryParseError(base + "g 0 1 0 9223372036854775806\n",
+                        "gap bound exceeds the timestamp range", 8);
+  ExpectQueryParseError(base + "g 0 1 1 2\ng 0 1 3 4\n",
+                        "duplicate gap for edge pair", 9);
+  // A gap with min >= 1 folds into the order relation; clashing with a
+  // declared reverse order is a cycle, caught on the gap's line.
+  ExpectQueryParseError(base + "o 1 0\ng 0 1 1 5\n",
+                        "order would create a cycle", 9);
+}
+
+TEST(QueryIoErrors, AbsenceRecordHostile) {
+  const std::string base = TriangleQuery();
+  ExpectQueryParseError("n 0 1 0 5\n" + base, "absence before header", 1);
+  ExpectQueryParseError(base + "n 0\n", "bad absence", 8);
+  ExpectQueryParseError(base + "n 0 9 0 5\n",
+                        "absence references unknown vertex", 8);
+  ExpectQueryParseError(base + "n -1 1 0 5\n",
+                        "absence references unknown vertex", 8);
+  ExpectQueryParseError(base + "n 1 1 0 5\n",
+                        "absence endpoints must be distinct", 8);
+  ExpectQueryParseError(base + "n 0 1 0 -2\n",
+                        "absence delta must be non-negative", 8);
+  ExpectQueryParseError(base + "n 0 1 0 9223372036854775806\n",
+                        "absence delta exceeds the timestamp range", 8);
+  // No label alphabet is declared in a .tq file, so "undeclared" means
+  // outside the representable Label range (negative or > 2^32-1).
+  ExpectQueryParseError(base + "n 0 1 -1 5\n",
+                        "absence references undeclared label", 8);
+  ExpectQueryParseError(base + "n 0 1 4294967296 5\n",
+                        "absence references undeclared label", 8);
+}
+
+TEST(QueryIoErrors, PredicateRoundTrip) {
+  // parse -> serialize -> parse is stable, including the skip of `o`
+  // pairs implied by a gap with min >= 1.
+  const std::string text = TriangleQuery() +
+                           "w 40\no 2 0\ng 0 1 3 9\ng 1 2 0 5\n"
+                           "n 0 2 7 11\nn 2 1 0 0\n";
+  auto q1 = ParseQueryString(text);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1.value().gaps().size(), 2u);
+  EXPECT_EQ(q1.value().absences().size(), 2u);
+  const std::string ser1 = SerializeQuery(q1.value());
+  // The gap with min=3 implies o 0 1, which must not be re-emitted.
+  EXPECT_EQ(ser1.find("o 0 1"), std::string::npos) << ser1;
+  EXPECT_NE(ser1.find("o 2 0"), std::string::npos) << ser1;
+  auto q2 = ParseQueryString(ser1);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(SerializeQuery(q2.value()), ser1);
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(q1.value().After(e), q2.value().After(e));
+    EXPECT_EQ(q1.value().GapRelated(e), q2.value().GapRelated(e));
+  }
+}
+
 }  // namespace
 }  // namespace tcsm

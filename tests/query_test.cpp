@@ -146,5 +146,69 @@ TEST(QueryGraph, ToStringMentionsStructure) {
   EXPECT_NE(s.find("|E|=6"), std::string::npos);
 }
 
+TEST(QueryGraph, GapConstraints) {
+  QueryGraph q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  const EdgeId e0 = q.AddEdge(0, 1);
+  const EdgeId e1 = q.AddEdge(1, 2);
+
+  ASSERT_TRUE(q.AddGap(e0, e1, 2, 5).ok());
+  ASSERT_EQ(q.gaps().size(), 1u);
+  EXPECT_EQ(q.gaps()[0].min_gap, 2);
+  EXPECT_EQ(q.gaps()[0].max_gap, 5);
+  EXPECT_EQ(q.GapRelated(e0), Bit(e1));
+  EXPECT_EQ(q.GapRelated(e1), Bit(e0));
+  // min >= 1 folds into the order relation.
+  EXPECT_TRUE(HasBit(q.After(e0), e1));
+
+  // min = 0 admits simultaneity: no order is implied (here the reverse
+  // direction, which an implied order would have made cyclic).
+  ASSERT_TRUE(q.AddGap(e1, e0, 0, 7).ok());
+  EXPECT_FALSE(HasBit(q.After(e1), e0));
+
+  EXPECT_FALSE(q.AddGap(e0, e1, 1, 2).ok());  // duplicate ordered pair
+  EXPECT_FALSE(q.AddGap(e0, 9, 1, 2).ok());
+  EXPECT_FALSE(q.AddGap(e0, e0, 1, 2).ok());
+  EXPECT_FALSE(q.AddGap(e0, e1, -1, 2).ok());
+  EXPECT_FALSE(q.AddGap(e0, e1, 5, 2).ok());
+  EXPECT_FALSE(q.AddGap(e0, e1, 0, kMaxStreamTimestamp + 1).ok());
+
+  // A gap whose implied order would cycle is rejected without mutating
+  // the gap set.
+  const Status cyclic = q.AddGap(e1, e0, 3, 9);
+  EXPECT_FALSE(cyclic.ok());
+  EXPECT_EQ(q.gaps().size(), 2u);
+  EXPECT_EQ(q.GapRelated(e0), Bit(e1));
+
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("gap"), std::string::npos) << s;
+}
+
+TEST(QueryGraph, AbsencePredicates) {
+  QueryGraph q(/*directed=*/true);
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddEdge(0, 1);
+
+  ASSERT_TRUE(q.AddAbsence(1, 0, /*label=*/3, /*delta=*/5).ok());
+  ASSERT_EQ(q.absences().size(), 1u);
+  EXPECT_EQ(q.absences()[0].u, 1u);
+  EXPECT_EQ(q.absences()[0].v, 0u);
+  EXPECT_EQ(q.absences()[0].label, 3u);
+  EXPECT_EQ(q.absences()[0].delta, 5);
+  // delta = 0 is legal: "never answered at the same instant".
+  EXPECT_TRUE(q.AddAbsence(0, 1, 0, 0).ok());
+
+  EXPECT_FALSE(q.AddAbsence(0, 9, 0, 5).ok());
+  EXPECT_FALSE(q.AddAbsence(0, 0, 0, 5).ok());
+  EXPECT_FALSE(q.AddAbsence(0, 1, 0, -1).ok());
+  EXPECT_FALSE(q.AddAbsence(0, 1, 0, kMaxStreamTimestamp + 1).ok());
+
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("absent"), std::string::npos) << s;
+}
+
 }  // namespace
 }  // namespace tcsm

@@ -205,5 +205,73 @@ TEST(QueryGen, FamilyOrdersConsistentWithOneWitness) {
   }
 }
 
+TEST(QueryGen, GapsFollowWitness) {
+  const TemporalDataset ds = SmallDataset(10);
+  Rng rng(37);
+  QueryGenOptions opt;
+  opt.num_edges = 5;
+  opt.density = 0.0;
+  opt.gap_probability = 1.0;
+  opt.gap_slack = 3;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+  // Probability 1: every adjacent witness pair becomes a gap.
+  ASSERT_EQ(q.gaps().size(), opt.num_edges - 1);
+  for (const GapConstraint& gc : q.gaps()) {
+    EXPECT_LE(gc.min_gap, gc.max_gap);
+    // Bounds are the witnessed difference +/- slack (min clamped at 0).
+    EXPECT_LE(gc.max_gap - gc.min_gap, 2 * opt.gap_slack);
+    if (gc.min_gap >= 1) {
+      EXPECT_TRUE(HasBit(q.After(gc.e1), gc.e2))
+          << "gap with min >= 1 did not fold into the order";
+    }
+  }
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryGen, AbsenceGeneration) {
+  const TemporalDataset ds = SmallDataset(11);
+  Rng rng(41);
+  QueryGenOptions opt;
+  opt.num_edges = 4;
+  opt.num_absence = 3;
+  opt.absence_delta = 7;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+  ASSERT_EQ(q.absences().size(), 3u);
+  for (const AbsencePredicate& p : q.absences()) {
+    EXPECT_NE(p.u, p.v);
+    EXPECT_LT(p.u, q.NumVertices());
+    EXPECT_LT(p.v, q.NumVertices());
+    EXPECT_EQ(p.delta, 7);
+  }
+}
+
+TEST(QueryGen, WitnessSurvivesGapBounds) {
+  // Gap bounds are derived from the witness walk itself, so the
+  // window-confined stream still produces at least one match.
+  const TemporalDataset ds = SmallDataset(12);
+  Rng rng(43);
+  QueryGenOptions opt;
+  opt.num_edges = 4;
+  opt.density = 1.0;
+  opt.window = 150;
+  opt.gap_probability = 1.0;
+  opt.gap_slack = 5;
+  QueryGraph q;
+  ASSERT_TRUE(GenerateQuery(ds, opt, &rng, &q));
+  ASSERT_FALSE(q.gaps().empty());
+
+  SingleQueryContext<TcmEngine> run(q,
+                                    GraphSchema{ds.directed, ds.vertex_labels});
+  CountingSink sink;
+  run.engine().set_sink(&sink);
+  StreamConfig config;
+  config.window = 150;
+  const StreamResult res = RunStream(ds, config, &run);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.occurred, 0u);
+}
+
 }  // namespace
 }  // namespace tcsm

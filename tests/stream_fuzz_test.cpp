@@ -201,6 +201,33 @@ TEST_P(StreamFuzz, BaselinesMatchOracle) {
   }
 }
 
+// Gap-bound pruning ablation (DESIGN.md §12): with prune_gap_bounds off
+// the ECM windows ignore gap constraints and complete embeddings are
+// post-filtered instead. Both modes must match the oracle exactly, and
+// in-search pruning may only ever shrink the explored tree. On scenarios
+// without gaps the two configurations are the identical code path.
+TEST_P(StreamFuzz, GapPruningMatchesPostFilter) {
+  SingleQueryContext<TcmEngine> pruned(query_, schema_);
+  Check(&pruned);
+  if (HasFailure()) return;
+
+  TcmConfig config;
+  config.prune_gap_bounds = false;
+  SingleQueryContext<TcmEngine> post(query_, schema_, config);
+  SCOPED_TRACE("gap post-filter mode");
+  Check(&post);
+  if (HasFailure()) return;
+
+  EXPECT_LE(pruned.engine().counters().search_nodes,
+            post.engine().counters().search_nodes)
+      << "gap pruning enlarged the search tree";
+  if (query_.gaps().empty()) {
+    EXPECT_EQ(pruned.engine().counters().search_nodes,
+              post.engine().counters().search_nodes)
+        << "prune_gap_bounds changed the search on a gap-free query";
+  }
+}
+
 // Multi-query differential: a MultiQueryEngine over {q, q-variant} on the
 // one shared graph must emit, per query, exactly the match stream of an
 // independently run single-query TCM engine with its own context.

@@ -80,6 +80,27 @@ inline std::vector<FuzzScenario> DefaultFuzzScenarios() {
   out.back().spec.ts_coalesce = 4;
   add("same_ts_directed",   114,  12, 120,  3, 2, 2.0, 0.9, true,  4, 0.50, 7);
   out.back().spec.ts_coalesce = 6;
+  // Temporal-predicate scenarios (DESIGN.md §12). Gap bounds are derived
+  // from the witness walk (always satisfiable); absence labels are drawn
+  // from the alphabet plus one out-of-alphabet value, so predicates range
+  // from vacuous to killing the witness itself.
+  add("gap_bounded",        115,  14, 110,  3, 1, 2.0, 0.8, false, 4, 0.25, 45);
+  out.back().query.gap_probability = 0.7;
+  out.back().query.gap_slack = 12;
+  add("gap_tight",          116,  12, 120,  2, 1, 2.4, 0.8, false, 4, 0.00, 30);
+  out.back().query.gap_probability = 1.0;
+  out.back().query.gap_slack = 2;
+  add("absence",            117,  14, 110,  3, 2, 2.0, 0.8, false, 3, 0.50, 40);
+  out.back().query.num_absence = 2;
+  out.back().query.absence_delta = 6;
+  add("absence_directed",   118,  12, 120,  3, 2, 2.0, 0.9, true,  3, 0.50, 35);
+  out.back().query.num_absence = 2;
+  out.back().query.absence_delta = 10;
+  add("order_gap_absence",  119,  14, 120,  3, 2, 2.0, 0.8, false, 4, 0.50, 40);
+  out.back().query.gap_probability = 0.5;
+  out.back().query.gap_slack = 8;
+  out.back().query.num_absence = 1;
+  out.back().query.absence_delta = 8;
   return out;
 }
 

@@ -52,6 +52,48 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
   EmbeddingSet current;
   uint64_t total_occurred = 0;
 
+  // Mirrored deferred-emission state for absence predicates. This is an
+  // independent transcription of the specified semantics (DESIGN.md §12),
+  // deliberately NOT sharing code with src/core/engine.cpp so the
+  // differential diff stays meaningful: a structural completion at trigger
+  // time T goes pending; a matching non-own data edge inside [T, T+delta]
+  // kills it; a pending completion is emitted at the first arrival past
+  // its deadline (FIFO) or, failing that, immediately before its own
+  // expired report.
+  struct MirrorPending {
+    Embedding emb;
+    Timestamp trigger_ts;
+    Timestamp deadline;
+  };
+  const bool absence = !query.absences().empty();
+  Timestamp max_delta = 0;
+  for (const AbsencePredicate& p : query.absences()) {
+    max_delta = std::max(max_delta, p.delta);
+  }
+  Timestamp abs_ts = kMinusInfinity;
+  std::vector<TemporalEdge> abs_same_ts;  // same-instant earlier arrivals
+  std::vector<MirrorPending> abs_pending;
+  EmbeddingSet abs_suppressed;
+  const auto violates = [&query](const Embedding& emb, Timestamp trigger_ts,
+                                 const TemporalEdge& ed) {
+    for (const AbsencePredicate& p : query.absences()) {
+      if (ed.label != p.label || ed.ts > trigger_ts + p.delta) continue;
+      const VertexId iu = emb.vertices[p.u];
+      const VertexId iv = emb.vertices[p.v];
+      const bool hit = query.directed()
+                           ? (ed.src == iu && ed.dst == iv)
+                           : ((ed.src == iu && ed.dst == iv) ||
+                              (ed.src == iv && ed.dst == iu));
+      if (!hit) continue;
+      if (std::find(emb.edges.begin(), emb.edges.end(), ed.id) !=
+          emb.edges.end()) {
+        continue;  // an embedding's own edges never violate it
+      }
+      return true;
+    }
+    return false;
+  };
+
   size_t arr = 0;
   size_t exp = 0;
   const size_t n = dataset.edges.size();
@@ -68,17 +110,74 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
       mirror.RemoveEdge(e.id);
       const EmbeddingSet next = Snapshot(mirror, query);
       for (const Embedding& m : current) {
-        if (next.count(m) == 0) expect_expired.insert(m);
+        if (next.count(m) != 0) continue;
+        if (!absence) {
+          expect_expired.insert(m);
+          continue;
+        }
+        if (abs_suppressed.erase(m) > 0) continue;  // swallowed entirely
+        const auto it = std::find_if(
+            abs_pending.begin(), abs_pending.end(),
+            [&m](const MirrorPending& p) { return p.emb == m; });
+        if (it != abs_pending.end()) {
+          // Dies with its absence window still open: resolves now, the
+          // occurred report immediately preceding the expired one.
+          abs_pending.erase(it);
+          expect_occurred.insert(m);
+        }
+        expect_expired.insert(m);
       }
       current = next;
       ++exp;
     } else {
       const TemporalEdge& e = dataset.edges[arr];
+      if (absence) {
+        if (e.ts != abs_ts) {
+          abs_same_ts.clear();
+          abs_ts = e.ts;
+        }
+        // Deadline strictly passed: no future arrival can violate.
+        while (!abs_pending.empty() && abs_pending.front().deadline < e.ts) {
+          expect_occurred.insert(abs_pending.front().emb);
+          abs_pending.erase(abs_pending.begin());
+        }
+        for (auto it = abs_pending.begin(); it != abs_pending.end();) {
+          if (violates(it->emb, it->trigger_ts, e)) {
+            abs_suppressed.insert(it->emb);
+            it = abs_pending.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        for (const AbsencePredicate& p : query.absences()) {
+          if (p.label == e.label) {
+            abs_same_ts.push_back(e);
+            break;
+          }
+        }
+      }
       context->OnEdgeArrival(e);
       mirror.InsertEdge(e.src, e.dst, e.ts, e.label);
       const EmbeddingSet next = Snapshot(mirror, query);
       for (const Embedding& m : next) {
-        if (current.count(m) == 0) expect_occurred.insert(m);
+        if (current.count(m) != 0) continue;
+        if (!absence) {
+          expect_occurred.insert(m);
+          continue;
+        }
+        // Birth check against same-instant earlier arrivals, then defer.
+        bool dead = false;
+        for (const TemporalEdge& b : abs_same_ts) {
+          if (violates(m, e.ts, b)) {
+            dead = true;
+            break;
+          }
+        }
+        if (dead) {
+          abs_suppressed.insert(m);
+        } else {
+          abs_pending.push_back(MirrorPending{m, e.ts, e.ts + max_delta});
+        }
       }
       current = next;
       ++arr;
@@ -102,6 +201,13 @@ inline uint64_t CheckEngineAgainstOracle(const TemporalDataset& dataset,
         << (arr + exp - 1);
     total_occurred += expect_occurred.size();
     if (::testing::Test::HasFailure()) break;  // stop at first divergence
+  }
+  // Both stream drivers drain every expiration at end of stream, so every
+  // pending completion must have resolved through its own expiry.
+  if (absence && !::testing::Test::HasFailure()) {
+    EXPECT_TRUE(abs_pending.empty())
+        << engine->name() << ": " << abs_pending.size()
+        << " absence-pending completions never resolved";
   }
   engine->set_sink(nullptr);
   return total_occurred;
